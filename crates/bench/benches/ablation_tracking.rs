@@ -1,0 +1,33 @@
+//! Criterion harness over the §5.1.2 frame-accounting ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury::{SwitchOutcome, TrackingStrategy};
+use mercury_bench::build_mn_with_strategy;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tracking");
+    g.sample_size(20);
+    for strategy in [
+        TrackingStrategy::RecomputeOnSwitch,
+        TrackingStrategy::ActiveTracking,
+    ] {
+        let (bed, mercury) = build_mn_with_strategy(strategy);
+        let cpu = bed.machine.boot_cpu();
+        g.bench_function(format!("roundtrip/{strategy:?}"), |b| {
+            b.iter(|| {
+                assert!(matches!(
+                    mercury.switch_to_virtual(cpu).unwrap(),
+                    SwitchOutcome::Completed { .. }
+                ));
+                assert!(matches!(
+                    mercury.switch_to_native(cpu).unwrap(),
+                    SwitchOutcome::Completed { .. }
+                ));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

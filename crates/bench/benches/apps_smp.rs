@@ -1,0 +1,22 @@
+//! Criterion harness over the Fig. 4 application benchmarks (SMP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury_workloads::apps::run_app;
+use mercury_workloads::configs::{SysKind, TestBed};
+
+fn bench_apps_smp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps_smp");
+    g.sample_size(10);
+    for kind in [SysKind::NL, SysKind::X0] {
+        for app in ["kernel build", "Iperf"] {
+            let bed = TestBed::build(kind, 2);
+            g.bench_function(format!("{app}/{}", kind.label()), |b| {
+                b.iter(|| run_app(app, &bed, 1))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps_smp);
+criterion_main!(benches);

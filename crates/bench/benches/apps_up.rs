@@ -1,0 +1,22 @@
+//! Criterion harness over the Fig. 3 application benchmarks (UP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury_workloads::apps::run_app;
+use mercury_workloads::configs::{SysKind, TestBed};
+
+fn bench_apps_up(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps_up");
+    g.sample_size(10);
+    for kind in [SysKind::NL, SysKind::X0, SysKind::XU] {
+        for app in ["dbench", "OSDB-IR", "ping"] {
+            let bed = TestBed::build(kind, 1);
+            g.bench_function(format!("{app}/{}", kind.label()), |b| {
+                b.iter(|| run_app(app, &bed, 1))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps_up);
+criterion_main!(benches);

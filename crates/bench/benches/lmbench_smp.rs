@@ -1,0 +1,24 @@
+//! Criterion harness over the Table 2 microbenchmarks (SMP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury_workloads::configs::{SysKind, TestBed};
+use mercury_workloads::lmbench;
+
+fn bench_lmbench_smp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lmbench_smp");
+    g.sample_size(10);
+    for kind in [SysKind::NL, SysKind::X0] {
+        let bed = TestBed::build(kind, 2);
+        g.bench_function(format!("fork/{}", kind.label()), |b| {
+            b.iter(|| lmbench::lat_fork(&bed, 2))
+        });
+        let bed = TestBed::build(kind, 2);
+        g.bench_function(format!("prot_fault/{}", kind.label()), |b| {
+            b.iter(|| lmbench::lat_prot_fault(&bed, 50))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lmbench_smp);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion harness over the Table 1 microbenchmarks (uniprocessor).
+//!
+//! Criterion measures *host* time of the simulator; the simulated
+//! microsecond results (the paper's numbers) are printed by
+//! `cargo run -p mercury-bench --bin table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury_workloads::configs::{SysKind, TestBed};
+use mercury_workloads::lmbench;
+
+fn bench_lmbench_up(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lmbench_up");
+    g.sample_size(10);
+
+    for kind in [SysKind::NL, SysKind::MN, SysKind::X0] {
+        let bed = TestBed::build(kind, 1);
+        g.bench_function(format!("fork/{}", kind.label()), |b| {
+            b.iter(|| lmbench::lat_fork(&bed, 2))
+        });
+        let bed = TestBed::build(kind, 1);
+        g.bench_function(format!("ctx_2p_0k/{}", kind.label()), |b| {
+            b.iter(|| lmbench::lat_ctx(&bed, 2, 0, 5))
+        });
+        let bed = TestBed::build(kind, 1);
+        g.bench_function(format!("page_fault/{}", kind.label()), |b| {
+            b.iter(|| lmbench::lat_page_fault(&bed, 50))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lmbench_up);
+criterion_main!(benches);

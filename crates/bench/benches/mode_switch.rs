@@ -1,0 +1,26 @@
+//! Criterion harness over the §7.4 mode switch (host time of one full
+//! attach/detach round trip; simulated times come from the
+//! `mode_switch` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury::{SwitchOutcome, TrackingStrategy};
+use mercury_bench::build_mn_with_strategy;
+
+fn bench_mode_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mode_switch");
+    g.sample_size(20);
+    let (bed, mercury) = build_mn_with_strategy(TrackingStrategy::RecomputeOnSwitch);
+    let cpu = bed.machine.boot_cpu();
+    g.bench_function("attach_detach_roundtrip", |b| {
+        b.iter(|| {
+            let a = mercury.switch_to_virtual(cpu).unwrap();
+            assert!(matches!(a, SwitchOutcome::Completed { .. }));
+            let d = mercury.switch_to_native(cpu).unwrap();
+            assert!(matches!(d, SwitchOutcome::Completed { .. }));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mode_switch);
+criterion_main!(benches);

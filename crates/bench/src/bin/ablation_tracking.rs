@@ -1,0 +1,44 @@
+//! Regenerate the §5.1.2 ablation: recompute-on-switch vs active
+//! tracking.
+//!
+//! Paper: "the first approach [active tracking] will incur about 2%~3%
+//! performance overhead and saves only a small amount of mode switch
+//! time.  Hence, we preferably choose the latter \[recompute\]."
+
+use mercury::TrackingStrategy;
+use mercury_bench::measure_switch_times;
+use mercury_workloads::configs::{SysKind, TestBed};
+use mercury_workloads::lmbench::lat_fork;
+
+fn main() {
+    println!("Frame-accounting strategy ablation (Section 5.1.2)\n");
+    for strategy in [
+        TrackingStrategy::RecomputeOnSwitch,
+        TrackingStrategy::ActiveTracking,
+    ] {
+        let t = measure_switch_times(strategy, 10);
+        println!("{:?}:", strategy);
+        println!(
+            "  attach: {:>8.1} us    detach: {:>8.1} us",
+            t.attach_us, t.detach_us
+        );
+    }
+
+    // Native-mode overhead: fork latency under both strategies vs N-L.
+    // The paper measures "about 2%~3% performance overhead" for active
+    // tracking in native mode.
+    let nl = lat_fork(&TestBed::build(SysKind::NL, 1), 8);
+    let mn = lat_fork(&TestBed::build(SysKind::MN, 1), 8);
+    let (bed_track, _m) = mercury_bench::build_mn_with_strategy(TrackingStrategy::ActiveTracking);
+    let mn_track = lat_fork(&bed_track, 8);
+    println!("\nNative-mode fork latency:");
+    println!("  N-L                    : {nl:>8.1} us");
+    println!(
+        "  M-N (recompute)        : {mn:>8.1} us  ({:+.1} % vs N-L)",
+        (mn / nl - 1.0) * 100.0
+    );
+    println!(
+        "  M-N (active tracking)  : {mn_track:>8.1} us  ({:+.1} % vs N-L; paper: +2~3 %)",
+        (mn_track / nl - 1.0) * 100.0
+    );
+}

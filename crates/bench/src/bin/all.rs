@@ -1,0 +1,38 @@
+//! Run every experiment and dump a JSON artifact for EXPERIMENTS.md.
+
+use mercury::TrackingStrategy;
+use mercury_bench::measure_switch_times;
+use mercury_workloads::lmbench::LmbenchIters;
+use mercury_workloads::report::{app_figure, lmbench_table};
+
+fn main() {
+    let t1 = lmbench_table(1, LmbenchIters::default());
+    println!("{}", t1.render());
+    let t2 = lmbench_table(2, LmbenchIters::default());
+    println!("{}", t2.render());
+    let f3 = app_figure(1, 2);
+    println!("{}", f3.render());
+    let f4 = app_figure(2, 2);
+    println!("{}", f4.render());
+    let sw = measure_switch_times(TrackingStrategy::RecomputeOnSwitch, 20);
+    let sw_track = measure_switch_times(TrackingStrategy::ActiveTracking, 20);
+    println!(
+        "Mode switch (recompute):   attach {:.1} us / detach {:.1} us",
+        sw.attach_us, sw.detach_us
+    );
+    println!(
+        "Mode switch (tracking):    attach {:.1} us / detach {:.1} us",
+        sw_track.attach_us, sw_track.detach_us
+    );
+
+    let artifact = serde_json::json!({
+        "table1": t1, "table2": t2, "fig3": f3, "fig4": f4,
+        "mode_switch": { "recompute": sw, "active_tracking": sw_track },
+    });
+    std::fs::write(
+        "bench_results.json",
+        serde_json::to_string_pretty(&artifact).unwrap(),
+    )
+    .expect("write bench_results.json");
+    eprintln!("\nwrote bench_results.json");
+}

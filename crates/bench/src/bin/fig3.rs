@@ -1,0 +1,8 @@
+//! Regenerate Fig. 3: relative application performance, uniprocessor.
+
+use mercury_workloads::report::app_figure;
+
+fn main() {
+    let fig = app_figure(1, 2);
+    println!("{}", fig.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Fig. 4: relative application performance, SMP.
+
+use mercury_workloads::report::app_figure;
+
+fn main() {
+    let fig = app_figure(2, 2);
+    println!("{}", fig.render());
+}

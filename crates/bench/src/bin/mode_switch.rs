@@ -1,0 +1,21 @@
+//! Regenerate §7.4: mode switch times.
+//!
+//! Paper: "the average time is about 0.22 ms to do a switch from native
+//! mode to virtual mode, and 0.06 ms to a switch back" (3 GHz Xeon).
+
+use mercury::TrackingStrategy;
+use mercury_bench::measure_switch_times;
+
+fn main() {
+    let t = measure_switch_times(TrackingStrategy::RecomputeOnSwitch, 20);
+    println!("Mode switch time (strategy: recompute-on-switch, paper default)");
+    println!(
+        "  native -> virtual : {:>8.1} us   (paper: ~220 us)",
+        t.attach_us
+    );
+    println!(
+        "  virtual -> native : {:>8.1} us   (paper: ~60 us)",
+        t.detach_us
+    );
+    println!("  samples           : {:>8}", t.samples);
+}

@@ -1,0 +1,18 @@
+//! Diagnostic probe for dbench's writeback behaviour (not a paper
+//! experiment; kept for calibration reproducibility).
+
+use mercury_workloads::apps::run_app;
+use mercury_workloads::configs::{SysKind, TestBed};
+
+fn main() {
+    for kind in [SysKind::NL, SysKind::X0, SysKind::XU] {
+        let bed = TestBed::build(kind, 1);
+        let r = run_app("dbench", &bed, 2);
+        let (h, m, w, d) = bed.kernel.cache_stats();
+        println!(
+            "{:>4}: {:8.1} MB/s   cache hits={h} misses={m} writebacks={w} dirty={d}",
+            bed.label(),
+            r.score
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate Table 1: lmbench latencies in uniprocessor mode.
+
+use mercury_workloads::lmbench::LmbenchIters;
+use mercury_workloads::report::lmbench_table;
+
+fn main() {
+    let table = lmbench_table(1, LmbenchIters::default());
+    println!("{}", table.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerate Table 2: lmbench latencies in SMP mode.
+
+use mercury_workloads::lmbench::LmbenchIters;
+use mercury_workloads::report::lmbench_table;
+
+fn main() {
+    let table = lmbench_table(2, LmbenchIters::default());
+    println!("{}", table.render());
+}

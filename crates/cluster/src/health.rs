@@ -1,0 +1,242 @@
+//! Hardware health monitoring and failure prediction (§6.5).
+//!
+//! "For high performance computing, there are usually some hardware
+//! monitors to monitor the temperature, fan speed, voltage, and power
+//! supplies in the system.  These can be facilitated for hardware
+//! failure prediction."
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One sample from the platform sensors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// CPU/board temperature in °C.
+    pub temp_c: f64,
+    /// Fan speed in RPM.
+    pub fan_rpm: f64,
+    /// Supply voltage in volts (nominal 12.0).
+    pub voltage: f64,
+    /// Corrected DRAM errors since the last sample.
+    pub dram_ce: u32,
+}
+
+impl Default for SensorReading {
+    fn default() -> Self {
+        SensorReading {
+            temp_c: 45.0,
+            fan_rpm: 4000.0,
+            voltage: 12.0,
+            dram_ce: 0,
+        }
+    }
+}
+
+/// Assessment of the node's hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Everything nominal.
+    Healthy,
+    /// Out of nominal band but not yet predictive of failure.
+    Degraded(String),
+    /// Failure predicted: evacuate now (§6.5's trigger).
+    FailurePredicted(String),
+}
+
+/// Prediction thresholds (the policy of a Leangsuksun-style
+/// "failure predictive and policy-based high availability strategy").
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Degraded above this temperature.
+    pub temp_warn: f64,
+    /// Failure predicted above this temperature.
+    pub temp_crit: f64,
+    /// Degraded below this fan speed.
+    pub fan_warn: f64,
+    /// Failure predicted below this fan speed.
+    pub fan_crit: f64,
+    /// Allowed relative voltage deviation before warning.
+    pub volt_warn_frac: f64,
+    /// Failure predicted beyond this relative deviation.
+    pub volt_crit_frac: f64,
+    /// Corrected-error rate that predicts imminent uncorrectable ones.
+    pub dram_ce_crit: u32,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            temp_warn: 70.0,
+            temp_crit: 85.0,
+            fan_warn: 2000.0,
+            fan_crit: 800.0,
+            volt_warn_frac: 0.05,
+            volt_crit_frac: 0.10,
+            dram_ce_crit: 16,
+        }
+    }
+}
+
+/// The monitor: keeps the latest reading and a short trend window.
+pub struct HealthMonitor {
+    thresholds: Thresholds,
+    history: Mutex<Vec<SensorReading>>,
+}
+
+/// Samples kept for trend analysis.
+const WINDOW: usize = 16;
+
+impl HealthMonitor {
+    /// A monitor with default thresholds, primed with one nominal
+    /// reading.
+    pub fn new() -> HealthMonitor {
+        HealthMonitor {
+            thresholds: Thresholds::default(),
+            history: Mutex::new(vec![SensorReading::default()]),
+        }
+    }
+
+    /// A monitor with custom thresholds.
+    pub fn with_thresholds(thresholds: Thresholds) -> HealthMonitor {
+        HealthMonitor {
+            thresholds,
+            history: Mutex::new(vec![SensorReading::default()]),
+        }
+    }
+
+    /// Feed a sensor sample.
+    pub fn inject(&self, reading: SensorReading) {
+        let mut h = self.history.lock();
+        h.push(reading);
+        let len = h.len();
+        if len > WINDOW {
+            h.drain(..len - WINDOW);
+        }
+    }
+
+    /// Latest sample.
+    pub fn latest(&self) -> SensorReading {
+        *self.history.lock().last().expect("primed with one reading")
+    }
+
+    /// Assess the node: thresholds on the latest sample plus a simple
+    /// temperature-trend predictor (three consecutive rising samples
+    /// already past the warning line predict failure).
+    pub fn assess(&self) -> HealthStatus {
+        let t = &self.thresholds;
+        let h = self.history.lock();
+        let r = *h.last().expect("primed");
+        let volt_dev = (r.voltage - 12.0).abs() / 12.0;
+
+        if r.temp_c >= t.temp_crit {
+            return HealthStatus::FailurePredicted(format!("temperature {:.0}°C", r.temp_c));
+        }
+        if r.fan_rpm <= t.fan_crit {
+            return HealthStatus::FailurePredicted(format!("fan at {:.0} RPM", r.fan_rpm));
+        }
+        if volt_dev >= t.volt_crit_frac {
+            return HealthStatus::FailurePredicted(format!("voltage {:.2} V", r.voltage));
+        }
+        if r.dram_ce >= t.dram_ce_crit {
+            return HealthStatus::FailurePredicted(format!("{} corrected DRAM errors", r.dram_ce));
+        }
+        // Trend: rising temperature already past the warning line.
+        if h.len() >= 3 {
+            let tail = &h[h.len() - 3..];
+            if tail.windows(2).all(|w| w[1].temp_c > w[0].temp_c) && r.temp_c >= t.temp_warn {
+                return HealthStatus::FailurePredicted(format!(
+                    "temperature trending up through {:.0}°C",
+                    r.temp_c
+                ));
+            }
+        }
+        if r.temp_c >= t.temp_warn {
+            return HealthStatus::Degraded(format!("temperature {:.0}°C", r.temp_c));
+        }
+        if r.fan_rpm <= t.fan_warn {
+            return HealthStatus::Degraded(format!("fan at {:.0} RPM", r.fan_rpm));
+        }
+        if volt_dev >= t.volt_warn_frac {
+            return HealthStatus::Degraded(format!("voltage {:.2} V", r.voltage));
+        }
+        HealthStatus::Healthy
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_healthy() {
+        let m = HealthMonitor::new();
+        assert_eq!(m.assess(), HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn threshold_grades() {
+        let m = HealthMonitor::new();
+        m.inject(SensorReading {
+            temp_c: 72.0,
+            ..Default::default()
+        });
+        assert!(matches!(m.assess(), HealthStatus::Degraded(_)));
+        m.inject(SensorReading {
+            temp_c: 90.0,
+            ..Default::default()
+        });
+        assert!(matches!(m.assess(), HealthStatus::FailurePredicted(_)));
+    }
+
+    #[test]
+    fn fan_voltage_and_dram_predictions() {
+        let m = HealthMonitor::new();
+        m.inject(SensorReading {
+            fan_rpm: 500.0,
+            ..Default::default()
+        });
+        assert!(matches!(m.assess(), HealthStatus::FailurePredicted(_)));
+        m.inject(SensorReading {
+            voltage: 10.0,
+            ..Default::default()
+        });
+        assert!(matches!(m.assess(), HealthStatus::FailurePredicted(_)));
+        m.inject(SensorReading {
+            dram_ce: 99,
+            ..Default::default()
+        });
+        assert!(matches!(m.assess(), HealthStatus::FailurePredicted(_)));
+    }
+
+    #[test]
+    fn rising_trend_predicts_before_critical() {
+        let m = HealthMonitor::new();
+        for t in [68.0, 71.0, 74.0] {
+            m.inject(SensorReading {
+                temp_c: t,
+                ..Default::default()
+            });
+        }
+        // 74 < 85 (critical) but the trend through the warning line
+        // predicts failure.
+        assert!(matches!(m.assess(), HealthStatus::FailurePredicted(_)));
+    }
+
+    #[test]
+    fn history_window_bounded() {
+        let m = HealthMonitor::new();
+        for i in 0..100 {
+            m.inject(SensorReading {
+                temp_c: 40.0 + (i % 3) as f64,
+                ..Default::default()
+            });
+        }
+        assert!(m.history.lock().len() <= WINDOW);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mercury-cluster — multi-node simulation for Mercury's cluster
+//! scenarios
+//!
+//! The paper's remaining usage scenarios need more than one machine:
+//!
+//! * **§6.3 online hardware maintenance** — switch the machine under
+//!   maintenance to full-virtual mode, live-migrate its execution
+//!   environment to a peer that self-virtualized into partial-virtual
+//!   mode, maintain, migrate back, return to native speed.
+//! * **§6.5 HPC cluster availability** — hardware health monitors
+//!   predict failures; on a prediction the node self-virtualizes and
+//!   evacuates itself to a healthy peer before dying.
+//!
+//! This crate provides [`Node`] (a full machine + warm hypervisor +
+//! Mercury-enabled kernel), [`Cluster`] (nodes wired together with
+//! simulated network links), the [`health`] monitors, and the
+//! [`maintenance`]/[`failover`] orchestrations.
+
+#![warn(missing_docs)]
+
+pub mod failover;
+pub mod health;
+pub mod maintenance;
+pub mod node;
+
+pub use failover::{auto_failover, FailoverReport};
+pub use health::{HealthMonitor, HealthStatus, SensorReading};
+pub use maintenance::{evacuate, return_home, EvacuatedGuest, MaintenanceError};
+pub use node::{Cluster, Node, NodeConfig};

@@ -1,0 +1,428 @@
+//! Online hardware maintenance by evacuation (§6.3).
+//!
+//! "An operator could switch the machine to be maintained to the
+//! full-virtual mode dynamically.  The execution environment of the
+//! machine can then be live migrated to another machine that has been
+//! virtualized and is in the partial-virtual mode to accommodate
+//! multiple operating systems.  After the maintenance work is
+//! completed, the execution environment is migrated back and the
+//! machine is returned to the native mode for full speed."
+
+use crate::node::Node;
+use mercury::{ExecMode, Mercury, SwitchError, SwitchOutcome, TrackingStrategy};
+use nimbus::drivers::blkback::BlkBackend;
+use nimbus::drivers::block::{FrontendBlockDriver, NativeBlockDriver};
+use nimbus::drivers::net::FrontendNetDriver;
+use nimbus::drivers::netback::NetBackend;
+use nimbus::kernel::BootMode;
+use nimbus::Kernel;
+use simx86::costs;
+use std::sync::Arc;
+use xenon::migrate::{LiveMigration, MigrationReport};
+use xenon::{Domain, HvError};
+
+/// Errors from the evacuation orchestration.
+#[derive(Debug)]
+pub enum MaintenanceError {
+    /// A mode switch failed.
+    Switch(SwitchError),
+    /// A switch was deferred; retry.
+    Busy,
+    /// The hypervisor-level migration failed.
+    Migration(HvError),
+    /// The guest kernel failed to freeze/thaw.
+    Kernel(nimbus::KernelError),
+}
+
+impl std::fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaintenanceError::Switch(e) => write!(f, "mode switch failed: {e}"),
+            MaintenanceError::Busy => write!(f, "virtualization object busy; retry"),
+            MaintenanceError::Migration(e) => write!(f, "live migration failed: {e}"),
+            MaintenanceError::Kernel(e) => write!(f, "guest kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+/// The evacuated OS, now running as a guest on the host node.
+pub struct EvacuatedGuest {
+    /// The guest's kernel object (rebuilt on the host machine).
+    pub kernel: Arc<Kernel>,
+    /// Its domain on the host's hypervisor.
+    pub dom: Arc<Domain>,
+    /// A Mercury engine adopted onto the guest (usable if it migrates
+    /// home and wants to go native).
+    pub mercury: Arc<Mercury>,
+    /// Migration statistics.
+    pub report: MigrationReport,
+}
+
+fn ensure_virtual(m: &Arc<Mercury>) -> Result<(), MaintenanceError> {
+    if m.mode() == ExecMode::Virtual {
+        return Ok(());
+    }
+    match m
+        .switch_to_virtual(m.kernel().machine.boot_cpu())
+        .map_err(MaintenanceError::Switch)?
+    {
+        SwitchOutcome::Completed { .. } | SwitchOutcome::AlreadyInMode => Ok(()),
+        SwitchOutcome::Deferred { .. } => Err(MaintenanceError::Busy),
+    }
+}
+
+/// Copy the source disk image to the target ("networked file system"
+/// stand-in: the paper's migratable disks assume shared storage; we
+/// model it as a storage pre-copy over the link, charged to `cpu`).
+fn migrate_storage(source: &Arc<Node>, target: &Arc<Node>) {
+    let cpu = source.machine.boot_cpu();
+    let sectors = source
+        .machine
+        .disk
+        .sectors()
+        .min(target.machine.disk.sectors());
+    let bytes = sectors * 512;
+    cpu.tick(bytes * costs::NIC_PER_BYTE + (sectors / 8) * costs::NIC_PACKET_BASE / 64);
+    let image = source.machine.disk.read_raw(0, bytes as usize);
+    target.machine.disk.write_raw(0, &image);
+}
+
+/// Evacuate `source`'s operating system onto `target`:
+///
+/// 1. both nodes self-virtualize (`source` full-virtual, `target`
+///    partial-virtual);
+/// 2. storage is pre-copied (shared-storage stand-in);
+/// 3. iterative pre-copy live migration with `precopy_rounds` rounds;
+/// 4. stop-and-copy, thaw on the target, and reconnect device
+///    frontends to backends in the target's driver domain (§5.2).
+pub fn evacuate(
+    source: &Arc<Node>,
+    target: &Arc<Node>,
+    precopy_rounds: usize,
+) -> Result<EvacuatedGuest, MaintenanceError> {
+    let src_m = source.mercury();
+    let dst_m = target.mercury();
+    ensure_virtual(&src_m)?;
+    ensure_virtual(&dst_m)?;
+
+    let cpu = source.machine.boot_cpu();
+    migrate_storage(source, target);
+
+    let mut migration = LiveMigration::new(Arc::clone(&source.hv), Arc::clone(src_m.dom0()));
+    for _ in 0..precopy_rounds.max(1) {
+        migration.round(cpu).map_err(MaintenanceError::Migration)?;
+    }
+
+    // Freeze the guest's logical state right before stop-and-copy.
+    let state = src_m
+        .kernel()
+        .freeze(cpu)
+        .map_err(MaintenanceError::Kernel)?;
+    *src_m.dom0().guest_state.lock() = Some(state);
+
+    let (dom, report) = migration
+        .finalize(cpu, &target.hv, 0)
+        .map_err(MaintenanceError::Migration)?;
+
+    // Thaw the kernel on the target machine.
+    let guest_state = dom
+        .guest_state
+        .lock()
+        .clone()
+        .expect("frozen state travels with the domain");
+    let kernel = Kernel::thaw(
+        Arc::clone(&target.machine),
+        BootMode::Guest {
+            hv: Arc::clone(&target.hv),
+            dom: Arc::clone(&dom),
+        },
+        &guest_state,
+        &report.frame_map,
+    )
+    .map_err(MaintenanceError::Kernel)?;
+
+    // §5.2: reconnect device frontends to the new driver domain's
+    // backends after the migration completes.
+    connect_split_devices(target, &kernel, &dom)?;
+
+    let mercury = Mercury::adopt(
+        Arc::clone(&kernel),
+        Arc::clone(&target.hv),
+        Arc::clone(&dom),
+        TrackingStrategy::RecomputeOnSwitch,
+    )
+    .map_err(MaintenanceError::Switch)?;
+
+    Ok(EvacuatedGuest {
+        kernel,
+        dom,
+        mercury,
+        report,
+    })
+}
+
+/// Wire frontend drivers in the migrated guest to fresh backends in
+/// `host`'s driver domain.
+fn connect_split_devices(
+    host: &Arc<Node>,
+    guest_kernel: &Arc<Kernel>,
+    guest_dom: &Arc<Domain>,
+) -> Result<(), MaintenanceError> {
+    let hv = &host.hv;
+    let cpu = host.machine.boot_cpu();
+    let host_dom = host.mercury().dom0().clone();
+
+    let ring_frames = hv.take_reserved(2).map_err(MaintenanceError::Migration)?;
+    for f in &ring_frames {
+        host.machine
+            .mem
+            .zero_frame(cpu, *f)
+            .map_err(|e| MaintenanceError::Migration(e.into()))?;
+    }
+
+    // Payload frames come from the guest's own memory.
+    let guest_frames = guest_dom.frames();
+    let blk_buf = guest_frames[guest_frames.len() - 1];
+    let net_buf = guest_frames[guest_frames.len() - 2];
+
+    let host_bounce = host
+        .machine
+        .allocator
+        .alloc(cpu)
+        .ok_or(MaintenanceError::Migration(HvError::OutOfMemory))?;
+    let lower_blk = NativeBlockDriver::new(Arc::clone(&host.machine), host_bounce);
+    let blk_back = BlkBackend::new(
+        Arc::clone(hv),
+        Arc::clone(&host_dom),
+        guest_dom.id,
+        lower_blk,
+        ring_frames[0],
+    );
+    let p = hv
+        .evtchn_alloc(cpu, &host_dom)
+        .map_err(MaintenanceError::Migration)?;
+    let pf = hv
+        .evtchn_bind(cpu, guest_dom, host_dom.id, p)
+        .map_err(MaintenanceError::Migration)?;
+    guest_kernel.set_block_driver(FrontendBlockDriver::new(
+        Arc::clone(hv),
+        Arc::clone(guest_dom),
+        blk_back,
+        blk_buf,
+        pf,
+    ));
+
+    let lower_net = nimbus::drivers::net::NativeNetDriver::new(Arc::clone(&host.machine));
+    let net_back = NetBackend::new(
+        Arc::clone(hv),
+        Arc::clone(&host_dom),
+        guest_dom.id,
+        lower_net,
+        ring_frames[1],
+    );
+    let p = hv
+        .evtchn_alloc(cpu, &host_dom)
+        .map_err(MaintenanceError::Migration)?;
+    let pf = hv
+        .evtchn_bind(cpu, guest_dom, host_dom.id, p)
+        .map_err(MaintenanceError::Migration)?;
+    guest_kernel.set_net_driver(FrontendNetDriver::new(
+        Arc::clone(hv),
+        Arc::clone(guest_dom),
+        net_back,
+        net_buf,
+        pf,
+    ));
+    Ok(())
+}
+
+/// Migrate an evacuated guest back to its (maintained) home node and
+/// return the node to native mode.  The home node adopts the returned
+/// OS as its own.
+pub fn return_home(
+    guest: EvacuatedGuest,
+    host: &Arc<Node>,
+    home: &Arc<Node>,
+) -> Result<MigrationReport, MaintenanceError> {
+    let cpu = host.machine.boot_cpu();
+
+    // Re-freeze on the host side before the move back.
+    let state = guest.kernel.freeze(cpu).map_err(MaintenanceError::Kernel)?;
+    *guest.dom.guest_state.lock() = Some(state);
+
+    let mut migration = LiveMigration::new(Arc::clone(&host.hv), Arc::clone(&guest.dom));
+    migration.round(cpu).map_err(MaintenanceError::Migration)?;
+    migrate_storage(host, home);
+    let (dom, report) = migration
+        .finalize(cpu, &home.hv, 0)
+        .map_err(MaintenanceError::Migration)?;
+
+    let guest_state = dom
+        .guest_state
+        .lock()
+        .clone()
+        .expect("frozen state travels with the domain");
+    let kernel = Kernel::thaw(
+        Arc::clone(&home.machine),
+        BootMode::Guest {
+            hv: Arc::clone(&home.hv),
+            dom: Arc::clone(&dom),
+        },
+        &guest_state,
+        &report.frame_map,
+    )
+    .map_err(MaintenanceError::Kernel)?;
+
+    // Back home the OS is the driver domain again: native drivers.
+    let home_cpu = home.machine.boot_cpu();
+    let bounce = home
+        .machine
+        .allocator
+        .alloc(home_cpu)
+        .ok_or(MaintenanceError::Migration(HvError::OutOfMemory))?;
+    kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&home.machine), bounce));
+    kernel.set_net_driver(nimbus::drivers::net::NativeNetDriver::new(Arc::clone(
+        &home.machine,
+    )));
+
+    let mercury = Mercury::adopt(
+        Arc::clone(&kernel),
+        Arc::clone(&home.hv),
+        dom,
+        TrackingStrategy::RecomputeOnSwitch,
+    )
+    .map_err(MaintenanceError::Switch)?;
+
+    // "the machine is returned to the native mode for full speed."
+    match mercury
+        .switch_to_native(home_cpu)
+        .map_err(MaintenanceError::Switch)?
+    {
+        SwitchOutcome::Completed { .. } | SwitchOutcome::AlreadyInMode => {}
+        SwitchOutcome::Deferred { .. } => return Err(MaintenanceError::Busy),
+    }
+    home.adopt_os(kernel, mercury);
+
+    // The host may return to native speed too, now that its guest left.
+    // Reflection must route to the host's own OS again first (the test
+    // bed may have focused the CPU on the departed guest).
+    let host_m = host.mercury();
+    if host.hv.domains().len() == 1 {
+        for c in &host.machine.cpus {
+            host.hv.set_current(c.id, Some(host_m.dom0().id));
+        }
+        let _ = host_m.switch_to_native(cpu);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Cluster, NodeConfig};
+    use nimbus::kernel::{MmapBacking, ReadOutcome};
+    use nimbus::mm::Prot;
+    use nimbus::Session;
+
+    #[test]
+    fn full_maintenance_cycle_preserves_workload_state() {
+        let cluster = Cluster::launch(2, &NodeConfig::default());
+        let home = cluster.node(0);
+        let host = cluster.node(1);
+
+        // Workload on the home node before maintenance.
+        let sess = home.session();
+        let va = sess.mmap(2, Prot::RW, MmapBacking::Anon).unwrap();
+        sess.poke(va, 0xabcd).unwrap();
+        let fd = sess.open("state.txt", true).unwrap();
+        sess.write(fd, b"pre-maintenance").unwrap();
+        sess.sync().unwrap();
+
+        // Evacuate.
+        let guest = evacuate(home, host, 2).unwrap();
+        assert!(guest.report.total_frames > 0);
+        assert_eq!(guest.kernel.exec_mode(), ExecMode::Virtual);
+        assert_eq!(host.hv.domains().len(), 2, "host hosts its OS + the guest");
+
+        // The evacuated OS keeps running on the host.
+        let gsess = Session::new(Arc::clone(&guest.kernel), 0);
+        host.hv.set_current(0, Some(guest.dom.id));
+        assert_eq!(gsess.peek(va).unwrap(), 0xabcd);
+        gsess.poke(va, 0xbeef).unwrap();
+        // Its filesystem works through the split block driver.
+        let fd2 = gsess.open("state.txt", false).unwrap();
+        match gsess.read(fd2, 15).unwrap() {
+            ReadOutcome::Data(d) => assert_eq!(d, b"pre-maintenance"),
+            other => panic!("{other:?}"),
+        }
+
+        // ... hardware maintenance happens on `home` here ...
+
+        // Migrate back; home returns to native mode.
+        let report = return_home(guest, host, home).unwrap();
+        assert!(report.downtime_cycles > 0);
+        assert_eq!(home.mercury().mode(), ExecMode::Native);
+        assert_eq!(home.machine.boot_cpu().pl(), simx86::PrivLevel::Pl0);
+
+        // State modified while evacuated came back.
+        let sess = home.session();
+        assert_eq!(sess.peek(va).unwrap(), 0xbeef);
+        assert_eq!(sess.stat("state.txt").unwrap().size, 15);
+
+        // The host went back to native speed as well.
+        assert_eq!(host.mercury().mode(), ExecMode::Native);
+        assert_eq!(host.hv.domains().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod rolling_tests {
+    use super::*;
+    use crate::node::{Cluster, NodeConfig};
+    use nimbus::kernel::MmapBacking;
+    use nimbus::mm::Prot;
+    use simx86::VirtAddr;
+
+    /// Rolling maintenance across a three-node cluster: each node is
+    /// evacuated to its neighbour, "maintained", and repopulated — the
+    /// fleet-wide version of §6.3 that motivates the paper's 99.999 %
+    /// availability discussion.
+    #[test]
+    fn rolling_maintenance_over_three_nodes() {
+        let cluster = Cluster::launch(3, &NodeConfig::default());
+
+        // Independent state on every node.
+        let mut vas = Vec::new();
+        for (i, node) in cluster.nodes.iter().enumerate() {
+            let sess = node.session();
+            let va = sess.mmap(1, Prot::RW, MmapBacking::Anon).unwrap();
+            sess.poke(va, 1000 + i as u64).unwrap();
+            vas.push(va);
+        }
+
+        #[allow(clippy::needless_range_loop)] // i also selects the host node
+        for i in 0..3 {
+            let home = cluster.node(i);
+            let host = cluster.node((i + 1) % 3);
+            let guest = evacuate(home, host, 1).unwrap();
+
+            // The evacuated OS keeps mutating while its home is down.
+            host.hv.set_current(0, Some(guest.dom.id));
+            let gsess = nimbus::Session::new(std::sync::Arc::clone(&guest.kernel), 0);
+            gsess.poke(VirtAddr(vas[i].0), 2000 + i as u64).unwrap();
+
+            return_home(guest, host, home).unwrap();
+            assert_eq!(home.mercury().mode(), mercury::ExecMode::Native);
+            let sess = home.session();
+            assert_eq!(sess.peek(vas[i]).unwrap(), 2000 + i as u64);
+        }
+
+        // Every node native, every hypervisor hosting nothing foreign.
+        for node in &cluster.nodes {
+            assert_eq!(node.mercury().mode(), mercury::ExecMode::Native);
+            assert!(node.hv.domains().len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Nodes and clusters: whole machines running Mercury-enabled kernels.
+
+use crate::health::HealthMonitor;
+use mercury::{Mercury, TrackingStrategy};
+use nimbus::drivers::block::NativeBlockDriver;
+use nimbus::drivers::net::NativeNetDriver;
+use nimbus::kernel::{BootMode, KernelConfig};
+use nimbus::{Kernel, Session};
+use parking_lot::RwLock;
+use simx86::devices::LinkWire;
+use simx86::{Machine, MachineConfig};
+use std::sync::Arc;
+use xenon::Hypervisor;
+
+/// Node sizing.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// CPUs per node.
+    pub num_cpus: usize,
+    /// Physical memory in frames.
+    pub mem_frames: usize,
+    /// Kernel pool size in frames (rest stays with the machine
+    /// allocator for hosting migrated guests).
+    pub pool_frames: usize,
+    /// Disk sectors.
+    pub disk_sectors: u64,
+    /// Filesystem data blocks.
+    pub fs_blocks: u64,
+    /// Frame-accounting strategy for Mercury.
+    pub strategy: TrackingStrategy,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            num_cpus: 1,
+            mem_frames: 16 * 1024,
+            pool_frames: 6 * 1024,
+            disk_sectors: 64 * 1024,
+            fs_blocks: 4096,
+            strategy: TrackingStrategy::RecomputeOnSwitch,
+        }
+    }
+}
+
+/// One cluster node: machine + warm hypervisor + Mercury-enabled
+/// kernel + health monitor.
+pub struct Node {
+    /// Node name.
+    pub name: String,
+    /// The machine.
+    pub machine: Arc<Machine>,
+    /// The (pre-cached) hypervisor.
+    pub hv: Arc<Hypervisor>,
+    /// The operating system currently running this node.  Replaced when
+    /// the node's OS is evacuated and later returns.
+    kernel: RwLock<Arc<Kernel>>,
+    /// The Mercury engine for the current kernel.
+    mercury: RwLock<Arc<Mercury>>,
+    /// Hardware health sensors.
+    pub health: HealthMonitor,
+}
+
+impl Node {
+    /// Build and boot a node: machine powered on, VMM warmed (dormant),
+    /// kernel booted natively, Mercury installed, native drivers
+    /// attached.
+    pub fn launch(name: &str, config: &NodeConfig) -> Arc<Node> {
+        let machine = Machine::new(MachineConfig {
+            num_cpus: config.num_cpus,
+            mem_frames: config.mem_frames,
+            disk_sectors: config.disk_sectors,
+        });
+        let hv = Hypervisor::warm_up(&machine);
+        let cpu = machine.boot_cpu();
+        let pool = machine
+            .allocator
+            .alloc_many(cpu, config.pool_frames)
+            .expect("node sized too small for its kernel pool");
+        let kernel = Kernel::boot(
+            Arc::clone(&machine),
+            KernelConfig {
+                pool,
+                mode: BootMode::Bare,
+                fs_blocks: config.fs_blocks,
+                fs_first_block: 1,
+            },
+        )
+        .expect("node kernel boot failed");
+        let bounce = machine.allocator.alloc(cpu).expect("bounce frame");
+        kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
+        kernel.set_net_driver(NativeNetDriver::new(Arc::clone(&machine)));
+        let mercury = Mercury::install(Arc::clone(&kernel), Arc::clone(&hv), config.strategy)
+            .expect("mercury install failed");
+        Arc::new(Node {
+            name: name.to_string(),
+            machine,
+            hv,
+            kernel: RwLock::new(kernel),
+            mercury: RwLock::new(mercury),
+            health: HealthMonitor::new(),
+        })
+    }
+
+    /// The node's current kernel.
+    pub fn kernel(&self) -> Arc<Kernel> {
+        Arc::clone(&self.kernel.read())
+    }
+
+    /// The node's Mercury engine.
+    pub fn mercury(&self) -> Arc<Mercury> {
+        Arc::clone(&self.mercury.read())
+    }
+
+    /// Replace the node's OS (after an evacuated kernel returns home).
+    pub fn adopt_os(&self, kernel: Arc<Kernel>, mercury: Arc<Mercury>) {
+        *self.kernel.write() = kernel;
+        *self.mercury.write() = mercury;
+    }
+
+    /// A session on the node's boot CPU.
+    pub fn session(&self) -> Session {
+        Session::new(self.kernel(), 0)
+    }
+}
+
+/// A set of nodes with pairwise network links.
+pub struct Cluster {
+    /// The nodes.
+    pub nodes: Vec<Arc<Node>>,
+}
+
+impl Cluster {
+    /// Launch `n` identically configured nodes and wire node 0's NIC to
+    /// node 1's, etc. (pairwise links between consecutive nodes; enough
+    /// for evacuation flows).
+    pub fn launch(n: usize, config: &NodeConfig) -> Cluster {
+        let nodes: Vec<Arc<Node>> = (0..n)
+            .map(|i| Node::launch(&format!("node{i}"), config))
+            .collect();
+        for pair in nodes.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            a.machine.nic.connect(Arc::new(LinkWire::new(
+                Arc::clone(&b.machine.nic),
+                Arc::clone(&b.machine.intc),
+            )));
+            b.machine.nic.connect(Arc::new(LinkWire::new(
+                Arc::clone(&a.machine.nic),
+                Arc::clone(&a.machine.intc),
+            )));
+        }
+        Cluster { nodes }
+    }
+
+    /// Node by index.
+    pub fn node(&self, i: usize) -> &Arc<Node> {
+        &self.nodes[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury::ExecMode;
+
+    #[test]
+    fn node_launches_native_with_dormant_vmm() {
+        let node = Node::launch("n0", &NodeConfig::default());
+        assert_eq!(node.mercury().mode(), ExecMode::Native);
+        assert!(!node.hv.is_active());
+        let sess = node.session();
+        let fd = sess.open("boot.log", true).unwrap();
+        sess.write(fd, b"up").unwrap();
+        assert_eq!(sess.stat("boot.log").unwrap().size, 2);
+    }
+
+    #[test]
+    fn cluster_links_carry_packets() {
+        let cluster = Cluster::launch(2, &NodeConfig::default());
+        let a = cluster.node(0).session();
+        let b = cluster.node(1).session();
+        let fa = a.socket(100).unwrap();
+        let fb = b.socket(200).unwrap();
+        a.sendto(fa, 200, b"hello b").unwrap();
+        match b.recvfrom(fb).unwrap() {
+            nimbus::kernel::RecvOutcome::Datagram(src, data) => {
+                assert_eq!(src, 100);
+                assert_eq!(data, b"hello b");
+            }
+            other => panic!("{other:?}"),
+        }
+        // And the reverse direction.
+        b.sendto(fb, 100, b"hello a").unwrap();
+        match a.recvfrom(fa).unwrap() {
+            nimbus::kernel::RecvOutcome::Datagram(src, data) => {
+                assert_eq!(src, 200);
+                assert_eq!(data, b"hello a");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_can_switch_modes() {
+        let node = Node::launch("n0", &NodeConfig::default());
+        let cpu = node.machine.boot_cpu();
+        let m = node.mercury();
+        assert!(matches!(
+            m.switch_to_virtual(cpu).unwrap(),
+            mercury::SwitchOutcome::Completed { .. }
+        ));
+        assert!(matches!(
+            m.switch_to_native(cpu).unwrap(),
+            mercury::SwitchOutcome::Completed { .. }
+        ));
+    }
+}

@@ -1,0 +1,95 @@
+//! # mercury — self-virtualization for the nimbus kernel
+//!
+//! This crate is the reproduction of the paper's contribution: the
+//! ability of a running operating system to **attach a full-fledged VMM
+//! underneath itself on demand, and detach it when no longer needed**,
+//! in sub-millisecond time and without disturbing running applications.
+//!
+//! The pieces map one-to-one onto the paper's design (§4–§5):
+//!
+//! * **Virtualization objects** ([`vo`]): the kernel's sensitive
+//!   operations behind a swappable, *reference-counted* table.  Mercury
+//!   ships a native VO (direct hardware access) and a virtual VO
+//!   (hypercalls); relocating the kernel between modes is one pointer
+//!   store once the reference count reaches zero (§4.2, §5.3).
+//! * **Reference-count gating and the retry timer** ([`refcount`],
+//!   §5.1.1): a switch request that finds the VO busy is deferred to a
+//!   10 ms kernel timer that retries until safe.
+//! * **State transfer** (§5.1.2): page-table pages flip between
+//!   writable (native) and read-only (virtual) in the kernel direct
+//!   map; per-thread kernel-segment privilege is rewritten; the cached
+//!   segment selectors in every saved kernel-stack trap context are
+//!   fixed by a stub so the resume path doesn't take a #GP.
+//! * **State reload** (§5.1.3): CR3/IDT/GDT are reloaded inside the
+//!   dedicated switch interrupt's handler, and the privilege-level
+//!   change is committed by editing the interrupt's return frame.
+//! * **Frame accounting strategies** ([`pgtrack`], §5.1.2): the default
+//!   recompute-on-attach (dominates the 0.22 ms switch of §7.4) and the
+//!   active-tracking alternative (2~3 % native overhead, faster
+//!   switch) — both implemented, compared by the ablation bench.
+//! * **SMP rendezvous** ([`rendezvous`], §5.4): the control processor
+//!   IPIs its peers and coordinates the mode switch through shared
+//!   atomic variables so no core ever runs in the wrong mode.
+//! * **Usage scenarios** ([`scenarios`], §6): checkpoint/restart,
+//!   self-healing, and live kernel update.  (Online hardware
+//!   maintenance and HPC failover live in the `mercury-cluster` crate,
+//!   which adds multi-node simulation.)
+//! * **Hardware assist** ([`switch::AssistMode`], §8 future work):
+//!   VT-x/EPT-style switching as an alternative mechanism.
+//!
+//! # Example
+//!
+//! ```
+//! use mercury::{Mercury, SwitchOutcome, TrackingStrategy};
+//! use nimbus::drivers::block::NativeBlockDriver;
+//! use nimbus::kernel::{BootMode, KernelConfig};
+//! use nimbus::{Kernel, Session};
+//! use simx86::{Machine, MachineConfig};
+//! use std::sync::Arc;
+//! use xenon::Hypervisor;
+//!
+//! // Power on; pre-cache the VMM (it stays dormant).
+//! let machine = Machine::new(MachineConfig::up());
+//! let hv = Hypervisor::warm_up(&machine);
+//!
+//! // Boot the kernel natively and make it self-virtualizable.
+//! let cpu = machine.boot_cpu();
+//! let pool = machine.allocator.alloc_many(cpu, 4096).unwrap();
+//! let kernel = Kernel::boot(
+//!     Arc::clone(&machine),
+//!     KernelConfig { pool, mode: BootMode::Bare, fs_blocks: 512, fs_first_block: 1 },
+//! )
+//! .unwrap();
+//! let bounce = machine.allocator.alloc(cpu).unwrap();
+//! kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
+//! let mercury =
+//!     Mercury::install(Arc::clone(&kernel), hv, TrackingStrategy::RecomputeOnSwitch).unwrap();
+//!
+//! // Attach the VMM under a live workload, then detach.
+//! let sess = Session::new(kernel, 0);
+//! let fd = sess.open("data", true).unwrap();
+//! sess.write(fd, b"before").unwrap();
+//! assert!(matches!(
+//!     mercury.switch_to_virtual(cpu).unwrap(),
+//!     SwitchOutcome::Completed { .. }
+//! ));
+//! sess.write(fd, b" and after").unwrap();
+//! mercury.switch_to_native(cpu).unwrap();
+//! assert_eq!(sess.stat("data").unwrap().size, 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pgtrack;
+pub mod refcount;
+pub mod rendezvous;
+pub mod scenarios;
+pub mod switch;
+pub mod vo;
+
+pub use pgtrack::TrackingStrategy;
+pub use refcount::VoRefCount;
+pub use switch::{AssistMode, Mercury, ModeDetail, SwitchError, SwitchOutcome, SwitchStats};
+pub use vo::CountedVo;
+
+pub use nimbus::paravirt::ExecMode;

@@ -1,0 +1,72 @@
+//! Frame-accounting strategies across mode switches (§5.1.2).
+//!
+//! When the VMM is detached it "loses track of the usage information" of
+//! the kernel's page frames.  The paper implements two ways to make the
+//! VMM's `page_info` table correct again, and so do we:
+//!
+//! * [`TrackingStrategy::RecomputeOnSwitch`] — the default.  On attach,
+//!   walk every frame the OS owns and re-derive owner/type/count from
+//!   the live page tables.  Costs nothing in native mode but dominates
+//!   the native→virtual switch time ("Mercury has to recalculate the
+//!   type and count information for all page frames during a mode
+//!   switch, which accounts for the major time to commit a switch",
+//!   §7.4).
+//! * [`TrackingStrategy::ActiveTracking`] — mirror every native
+//!   page-table mutation into the dormant VMM's accounting as it
+//!   happens.  The paper measures "about 2%~3% performance overhead
+//!   [in native mode] and saves only a small amount of mode switch
+//!   time"; they therefore prefer recompute, and so does
+//!   [`crate::Mercury::install`]'s default.
+//!
+//! **Modelling note** (see DESIGN.md): the mirror's bookkeeping work is
+//! charged per mutation through the native VO
+//! ([`simx86::costs::ACTIVE_TRACK_PER_PTE`]); at attach time the
+//! correctness path reuses the same validator as recompute at a mirror
+//! adoption rate ([`ADOPT_PER_FRAME`]) instead of the full scan rate.
+//! A property test asserts the two strategies produce identical
+//! `page_info` state, which is the invariant the paper's design relies
+//! on.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-frame cost of adopting the actively-maintained mirror at attach
+/// (a table copy, not a walk of the page tables).
+pub const ADOPT_PER_FRAME: u64 = 3;
+
+/// How the VMM's frame accounting is kept correct across detached
+/// periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TrackingStrategy {
+    /// Re-derive all type/count state during the attach (paper default).
+    #[default]
+    RecomputeOnSwitch,
+    /// Mirror every native page-table mutation while detached.
+    ActiveTracking,
+}
+
+impl TrackingStrategy {
+    /// Cycles per owned frame charged during attach.
+    pub fn attach_per_frame_cost(self) -> u64 {
+        match self {
+            TrackingStrategy::RecomputeOnSwitch => simx86::costs::PGINFO_RECOMPUTE_PER_FRAME,
+            TrackingStrategy::ActiveTracking => ADOPT_PER_FRAME,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recompute_is_the_default_and_costs_more_at_attach() {
+        assert_eq!(
+            TrackingStrategy::default(),
+            TrackingStrategy::RecomputeOnSwitch
+        );
+        assert!(
+            TrackingStrategy::RecomputeOnSwitch.attach_per_frame_cost()
+                > TrackingStrategy::ActiveTracking.attach_per_frame_cost() * 5
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! The SMP mode-switch rendezvous protocol (§5.4).
+//!
+//! "The processor (CP, control processor) that received the mode switch
+//! request will notify other processors via issuing IPIs.  Upon
+//! receiving the IPI, each processor notifies its readiness to other
+//! processors by increasing a shared count and waits for a shared flag
+//! to ensure all other processors are ready to do a mode switch.  The
+//! shared flag will be set by the CP when it finds the shared count is
+//! equal to the total number of processors.  The completion of the mode
+//! switch is also coordinated using a shared variable."
+//!
+//! The shared count/flag/completion variables below are real atomics;
+//! the peer CPUs run on real host threads, so the protocol is exercised
+//! under genuine concurrency.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long a spinning participant waits before declaring the protocol
+/// wedged (host wall-clock; generous because peers only notice IPIs at
+/// service points).
+pub const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The shared coordination block.
+#[derive(Debug, Default)]
+pub struct Rendezvous {
+    /// Peers that acknowledged the IPI ("shared count").
+    ready: AtomicUsize,
+    /// CP's go signal ("shared flag").
+    go: AtomicBool,
+    /// Peers that finished their per-CPU switch step ("completion").
+    done: AtomicUsize,
+    /// A rendezvous is in progress.
+    active: AtomicBool,
+}
+
+/// Why a rendezvous failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RendezvousError {
+    /// A peer never checked in (not polling its service points).
+    Timeout,
+    /// A rendezvous was already in flight.
+    Busy,
+}
+
+impl Rendezvous {
+    /// Fresh block.
+    pub fn new() -> Rendezvous {
+        Rendezvous::default()
+    }
+
+    /// Is a rendezvous currently in progress?
+    pub fn in_progress(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// CP side: open the rendezvous.  Fails if one is already running.
+    pub fn begin(&self) -> Result<(), RendezvousError> {
+        if self.active.swap(true, Ordering::AcqRel) {
+            return Err(RendezvousError::Busy);
+        }
+        self.ready.store(0, Ordering::Release);
+        self.done.store(0, Ordering::Release);
+        self.go.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// CP side: wait until `peers` CPUs have checked in.  The CP then
+    /// performs the global state transfer while every peer is parked,
+    /// and releases them with [`Rendezvous::signal_go`].
+    pub fn wait_ready(&self, peers: usize) -> Result<(), RendezvousError> {
+        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+        while self.ready.load(Ordering::Acquire) < peers {
+            if Instant::now() > deadline {
+                self.active.store(false, Ordering::Release);
+                return Err(RendezvousError::Timeout);
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// CP side: raise the shared go flag.
+    pub fn signal_go(&self) {
+        self.go.store(true, Ordering::Release);
+    }
+
+    /// CP side: wait for check-ins and immediately release the peers.
+    pub fn wait_ready_and_go(&self, peers: usize) -> Result<(), RendezvousError> {
+        self.wait_ready(peers)?;
+        self.signal_go();
+        Ok(())
+    }
+
+    /// CP side: wait for all peers to complete their per-CPU step, then
+    /// close the rendezvous.
+    pub fn wait_done(&self, peers: usize) -> Result<(), RendezvousError> {
+        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+        while self.done.load(Ordering::Acquire) < peers {
+            if Instant::now() > deadline {
+                self.active.store(false, Ordering::Release);
+                return Err(RendezvousError::Timeout);
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        self.active.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Peer side: check in and spin until the CP raises the go flag.
+    pub fn check_in_and_wait(&self) -> Result<(), RendezvousError> {
+        self.ready.fetch_add(1, Ordering::AcqRel);
+        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+        while !self.go.load(Ordering::Acquire) {
+            if !self.in_progress() {
+                // CP aborted (e.g. its own timeout).
+                return Err(RendezvousError::Timeout);
+            }
+            if Instant::now() > deadline {
+                return Err(RendezvousError::Timeout);
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// Peer side: report the per-CPU switch step complete.
+    pub fn complete(&self) {
+        self.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn two_party_protocol_runs_to_completion() {
+        let r = Arc::new(Rendezvous::new());
+        r.begin().unwrap();
+        let peer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                r.check_in_and_wait().unwrap();
+                r.complete();
+            })
+        };
+        r.wait_ready_and_go(1).unwrap();
+        r.wait_done(1).unwrap();
+        peer.join().unwrap();
+        assert!(!r.in_progress());
+    }
+
+    #[test]
+    fn double_begin_is_busy() {
+        let r = Rendezvous::new();
+        r.begin().unwrap();
+        assert_eq!(r.begin().unwrap_err(), RendezvousError::Busy);
+    }
+
+    #[test]
+    fn zero_peers_trivially_completes() {
+        let r = Rendezvous::new();
+        r.begin().unwrap();
+        r.wait_ready_and_go(0).unwrap();
+        r.wait_done(0).unwrap();
+        assert!(!r.in_progress());
+    }
+
+    #[test]
+    fn many_peers_all_observe_go_before_done() {
+        let r = Arc::new(Rendezvous::new());
+        r.begin().unwrap();
+        let peers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    r.check_in_and_wait().unwrap();
+                    r.complete();
+                })
+            })
+            .collect();
+        r.wait_ready_and_go(4).unwrap();
+        r.wait_done(4).unwrap();
+        for p in peers {
+            p.join().unwrap();
+        }
+    }
+}

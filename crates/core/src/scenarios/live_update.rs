@@ -1,0 +1,154 @@
+//! Live kernel update under a temporarily attached VMM (§6.4).
+//!
+//! LUCOS showed VMM-mediated live updating of Linux but "requires a VMM
+//! permanently underneath the operating system"; self-virtualization
+//! removes exactly that cost: "when there is a need to perform a live
+//! update, a VMM could be dynamically attached ... the attached VMM then
+//! applies the live update and is detached when the live update is
+//! completed."
+
+use crate::switch::{Mercury, SwitchError, SwitchOutcome};
+use crate::ExecMode;
+use simx86::{costs, Cpu};
+use std::sync::Arc;
+
+/// Per-patch application cost charged while the VMM mediates (code
+/// rewriting, quiescence checks).
+pub const PATCH_APPLY_COST: u64 = 40_000;
+
+/// Result of a completed live update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Patch name.
+    pub name: String,
+    /// Previously installed version, if any.
+    pub old_version: Option<u64>,
+    /// Version now live.
+    pub new_version: u64,
+    /// Cycles the whole operation took (attach + patch + detach).
+    pub total_cycles: u64,
+    /// Whether the kernel was returned to native mode afterwards.
+    pub returned_native: bool,
+}
+
+/// Errors from the live-update orchestration.
+#[derive(Debug)]
+pub enum UpdateError {
+    /// Mode switch failed.
+    Switch(SwitchError),
+    /// Sensitive code in flight; retry later.
+    Busy,
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::Switch(e) => write!(f, "mode switch failed: {e}"),
+            UpdateError::Busy => write!(f, "virtualization object busy; retry"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Apply a live patch: attach the VMM if needed, patch under its
+/// mediation, and detach again.  Running applications never stop.
+pub fn apply(
+    mercury: &Arc<Mercury>,
+    cpu: &Arc<Cpu>,
+    name: &str,
+    version: u64,
+) -> Result<UpdateReport, UpdateError> {
+    let t0 = cpu.cycles();
+    let was_native = mercury.mode() == ExecMode::Native;
+    if was_native {
+        match mercury
+            .switch_to_virtual(cpu)
+            .map_err(UpdateError::Switch)?
+        {
+            SwitchOutcome::Completed { .. } | SwitchOutcome::AlreadyInMode => {}
+            SwitchOutcome::Deferred { .. } => return Err(UpdateError::Busy),
+        }
+    }
+
+    // The VMM is in full control; apply the patch atomically with
+    // respect to guest execution.
+    cpu.tick(PATCH_APPLY_COST);
+    let old_version = mercury.kernel().apply_patch(name, version);
+
+    let mut returned_native = false;
+    if was_native {
+        match mercury.switch_to_native(cpu).map_err(UpdateError::Switch)? {
+            SwitchOutcome::Completed { .. } | SwitchOutcome::AlreadyInMode => {
+                returned_native = true;
+            }
+            SwitchOutcome::Deferred { .. } => return Err(UpdateError::Busy),
+        }
+    }
+    Ok(UpdateReport {
+        name: name.to_string(),
+        old_version,
+        new_version: version,
+        total_cycles: cpu.cycles() - t0,
+        returned_native,
+    })
+}
+
+/// Rough upper bound on the update's service disruption: both mode
+/// switches plus the patch window, in microseconds.
+pub fn estimated_disruption_us(report: &UpdateReport) -> f64 {
+    costs::cycles_to_us(report.total_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::tests::rig;
+    use crate::TrackingStrategy;
+
+    #[test]
+    fn patch_applies_and_returns_native() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        assert_eq!(mercury.kernel().patch_version("cve-fix"), None);
+        let report = apply(&mercury, cpu, "cve-fix", 2).unwrap();
+        assert_eq!(report.old_version, None);
+        assert_eq!(report.new_version, 2);
+        assert!(report.returned_native);
+        assert_eq!(mercury.kernel().patch_version("cve-fix"), Some(2));
+        assert!(!hv.is_active(), "VMM dormant again after the update");
+        // The whole disruption is far below a reboot.
+        assert!(estimated_disruption_us(&report) < 2_000.0);
+    }
+
+    #[test]
+    fn repeated_patches_supersede() {
+        let (machine, _hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        apply(&mercury, cpu, "sched", 1).unwrap();
+        let r = apply(&mercury, cpu, "sched", 3).unwrap();
+        assert_eq!(r.old_version, Some(1));
+        assert_eq!(mercury.kernel().patches(), vec![("sched".to_string(), 3)]);
+    }
+
+    #[test]
+    fn update_in_virtual_mode_needs_no_switch() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        mercury.switch_to_virtual(cpu).unwrap();
+        let report = apply(&mercury, cpu, "hotfix", 1).unwrap();
+        assert!(!report.returned_native);
+        assert!(hv.is_active());
+    }
+
+    #[test]
+    fn busy_vo_rejects_update() {
+        let (machine, _hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        let _g = mercury.vo_refcount().enter();
+        assert!(matches!(
+            apply(&mercury, cpu, "x", 1),
+            Err(UpdateError::Busy)
+        ));
+    }
+}

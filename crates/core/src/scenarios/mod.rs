@@ -1,0 +1,20 @@
+//! Usage scenarios of self-virtualization (§6).
+//!
+//! Each submodule implements one of the paper's dependability features
+//! as a small orchestration over [`crate::Mercury`]:
+//!
+//! * [`checkpoint`] — §6.1 checkpointing and restarting of operating
+//!   systems: attach, snapshot the whole system, detach; restore on a
+//!   healthy machine after a failure.
+//! * [`healing`] — §6.2 self-healing: detect tainted kernel state,
+//!   attach the VMM (whose validators reject the taint), repair from
+//!   PL0, detach.
+//! * [`live_update`] — §6.4 live kernel updates: attach, apply the
+//!   patch under VMM mediation, detach.
+//!
+//! §6.3 (online hardware maintenance) and §6.5 (HPC availability) need
+//! multiple machines and live in the `mercury-cluster` crate.
+
+pub mod checkpoint;
+pub mod healing;
+pub mod live_update;

@@ -1,0 +1,1276 @@
+//! The mode switcher: attaching and detaching the pre-cached VMM.
+//!
+//! [`Mercury::install`] prepares everything ahead of time (§4.1's
+//! pre-caching): the VMM is warmed, a domain-0 record for the kernel is
+//! created, both virtualization objects are built, and the dedicated
+//! switch interrupt vectors are wired up.  A mode switch is then
+//! triggered by raising `SELF_VIRT_ATTACH`/`SELF_VIRT_DETACH`; all the
+//! work happens inside the interrupt handler at PL0 (§5.1.3), and the
+//! privilege change is committed by editing the handler's return frame.
+
+use crate::pgtrack::TrackingStrategy;
+use crate::refcount::VoRefCount;
+use crate::rendezvous::{Rendezvous, RendezvousError};
+use crate::vo::CountedVo;
+use nimbus::paravirt::{BareOps, ExecMode, HvmOps, PvOps, XenOps};
+use nimbus::Kernel;
+use parking_lot::Mutex;
+use simx86::cpu::{vectors, InterruptSink, PrivLevel, TrapFrame};
+use simx86::paging::Pte;
+use simx86::vmx::Ept;
+use simx86::{costs, Cpu, Machine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use xenon::{Domain, Hypervisor};
+
+/// Which switching mechanism Mercury uses (the paper's §8 extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssistMode {
+    /// The paper's implemented design: paravirtual de-privileging,
+    /// page-table writability flips, selector fixups, frame-accounting
+    /// recompute.
+    #[default]
+    Software,
+    /// VT-x/EPT style (§8 future work): virtual mode runs the kernel in
+    /// non-root PL0 behind an EPT built at install time; the switch is
+    /// a VMCS load per CPU — no transfer functions at all.
+    HardwareAssisted,
+}
+
+/// Fine-grained mode classification using the paper's §6 terminology:
+/// *partial-virtual* mode hosts other operating systems (the machine is
+/// a driver domain); *full-virtual* mode means the OS is the sole
+/// domain and therefore live-migratable as a unit (§6.3's "switch the
+/// machine to be maintained to the full-virtual mode").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeDetail {
+    /// On bare hardware.
+    Native,
+    /// On the VMM, hosting `guests` other domains.
+    PartialVirtual {
+        /// Number of hosted guest domains.
+        guests: usize,
+    },
+    /// On the VMM, alone — ready to be migrated.
+    FullVirtual,
+}
+
+/// Result of a switch request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchOutcome {
+    /// Switch committed; cycles spent inside the switch handler (the
+    /// §7.4 "mode switch time").
+    Completed {
+        /// Cycles between handler entry and commit.
+        cycles: u64,
+    },
+    /// The kernel was already in the requested mode.
+    AlreadyInMode,
+    /// Virtualization-sensitive code was in flight; the switch was
+    /// deferred to the retry timer (§5.1.1).
+    Deferred {
+        /// The offending reference count.
+        refcount: usize,
+    },
+}
+
+/// Why a switch failed outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The SMP rendezvous timed out (a CPU is not servicing interrupts).
+    Rendezvous(RendezvousError),
+    /// Cannot detach while hosting other domains — migrate or destroy
+    /// them first.
+    GuestsPresent(usize),
+    /// A state transfer step failed (the kernel may be inconsistent —
+    /// the paper's future-work "failure-resistant mode switch" applies).
+    Transfer(String),
+    /// No switch has been requested on this CPU.
+    NothingPending,
+}
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwitchError::Rendezvous(e) => write!(f, "SMP rendezvous failed: {e:?}"),
+            SwitchError::GuestsPresent(n) => {
+                write!(f, "cannot detach while hosting {n} guest domain(s)")
+            }
+            SwitchError::Transfer(e) => write!(f, "state transfer failed: {e}"),
+            SwitchError::NothingPending => write!(f, "no switch outcome recorded"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// Running switch statistics.
+#[derive(Debug, Default)]
+pub struct SwitchStats {
+    /// Completed native→virtual switches.
+    pub attaches: AtomicU64,
+    /// Completed virtual→native switches.
+    pub detaches: AtomicU64,
+    /// Requests deferred by the reference-count gate.
+    pub deferrals: AtomicU64,
+    /// Cycles of the most recent attach.
+    pub last_attach_cycles: AtomicU64,
+    /// Cycles of the most recent detach.
+    pub last_detach_cycles: AtomicU64,
+}
+
+/// The self-virtualization engine for one kernel.
+pub struct Mercury {
+    kernel: Arc<Kernel>,
+    hv: Arc<Hypervisor>,
+    machine: Arc<Machine>,
+    dom0: Arc<Domain>,
+    refcount: Arc<VoRefCount>,
+    native_vo: Arc<CountedVo>,
+    virtual_vo: Arc<CountedVo>,
+    strategy: TrackingStrategy,
+    assist: AssistMode,
+    /// EPT for hardware-assisted mode (built at install).
+    ept: Option<Arc<Ept>>,
+    hvm_vo: Option<Arc<CountedVo>>,
+    rendezvous: Rendezvous,
+    /// Target of the rendezvous in flight (peers read it).
+    rv_target: Mutex<Option<ExecMode>>,
+    /// Deferred switch target for the retry timer.
+    pending: Mutex<Option<ExecMode>>,
+    last_outcome: Mutex<Option<Result<SwitchOutcome, SwitchError>>>,
+    /// Statistics.
+    pub stats: SwitchStats,
+}
+
+struct SwitchSink(Weak<Mercury>);
+
+impl InterruptSink for SwitchSink {
+    fn handle(&self, cpu: &Arc<Cpu>, frame: &mut TrapFrame) {
+        let Some(m) = self.0.upgrade() else { return };
+        match frame.vector {
+            vectors::SELF_VIRT_ATTACH => m.handle_switch(cpu, frame, ExecMode::Virtual),
+            vectors::SELF_VIRT_DETACH => m.handle_switch(cpu, frame, ExecMode::Native),
+            vectors::SELF_VIRT_RENDEZVOUS => m.handle_rendezvous_peer(cpu, frame),
+            _ => {}
+        }
+    }
+}
+
+impl Mercury {
+    /// Install self-virtualization onto a bare-booted kernel.
+    ///
+    /// Pre-caches everything a switch needs: the (already warm)
+    /// hypervisor gets a domain-0 record covering the kernel's frames,
+    /// the two virtualization objects are built around a shared
+    /// reference count, the kernel's paravirt pointer is relocated to
+    /// the native VO, and the dedicated interrupt vectors plus the
+    /// retry timer are wired up.
+    pub fn install(
+        kernel: Arc<Kernel>,
+        hv: Arc<Hypervisor>,
+        strategy: TrackingStrategy,
+    ) -> Result<Arc<Mercury>, SwitchError> {
+        Self::install_with_assist(kernel, hv, strategy, AssistMode::Software)
+    }
+
+    /// [`Mercury::install`] with an explicit switching mechanism.  With
+    /// [`AssistMode::HardwareAssisted`], the EPT over the kernel's
+    /// frames is built here (warm-up, off the switch path), realizing
+    /// §8's "nested page table ... could ease the tracking of the
+    /// states of each page".
+    pub fn install_with_assist(
+        kernel: Arc<Kernel>,
+        hv: Arc<Hypervisor>,
+        strategy: TrackingStrategy,
+        assist: AssistMode,
+    ) -> Result<Arc<Mercury>, SwitchError> {
+        assert_eq!(
+            kernel.exec_mode(),
+            ExecMode::Native,
+            "Mercury installs onto a native-booted kernel"
+        );
+        let machine = Arc::clone(&kernel.machine);
+        let cpu = machine.boot_cpu();
+
+        // Pre-create the kernel's dom0 record while the VMM is dormant:
+        // ownership of every pool frame is established once, not per
+        // switch.
+        let dom0 = hv
+            .create_domain(cpu, "mercury-os", kernel.pool_frames(), 0)
+            .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+
+        let refcount = VoRefCount::new();
+        let native_vo = CountedVo::new(
+            BareOps::new(Arc::clone(&machine)) as Arc<dyn PvOps>,
+            Arc::clone(&refcount),
+            strategy,
+        );
+        let virtual_vo = CountedVo::new(
+            XenOps::new(Arc::clone(&hv), Arc::clone(&dom0)) as Arc<dyn PvOps>,
+            Arc::clone(&refcount),
+            strategy,
+        );
+        kernel.set_pv(Arc::clone(&native_vo) as Arc<dyn PvOps>);
+
+        let (ept, hvm_vo) = if assist == AssistMode::HardwareAssisted {
+            let frames = kernel.pool_frames();
+            cpu.tick(costs::EPT_BUILD_PER_FRAME * frames.len() as u64);
+            let ept = Ept::new(machine.mem.num_frames());
+            ept.allow_all(&frames);
+            let hvm_vo = CountedVo::new(
+                HvmOps::new(Arc::clone(&machine)) as Arc<dyn PvOps>,
+                Arc::clone(&refcount),
+                strategy,
+            );
+            (Some(ept), Some(hvm_vo))
+        } else {
+            (None, None)
+        };
+
+        Ok(Self::finish_install(
+            kernel, hv, machine, dom0, refcount, native_vo, virtual_vo, strategy, assist, ept,
+            hvm_vo,
+        ))
+    }
+
+    /// Install Mercury onto a kernel already running in **virtual mode**
+    /// as `dom` on `hv` — the shape of a system restored from a
+    /// checkpoint or freshly live-migrated in.  Once adopted, the
+    /// kernel can `switch_to_native` and run at full speed (§6.3's
+    /// "migrated back and the machine is returned to the native mode").
+    pub fn adopt(
+        kernel: Arc<Kernel>,
+        hv: Arc<Hypervisor>,
+        dom: Arc<Domain>,
+        strategy: TrackingStrategy,
+    ) -> Result<Arc<Mercury>, SwitchError> {
+        assert_eq!(
+            kernel.exec_mode(),
+            ExecMode::Virtual,
+            "Mercury adopts a kernel currently running as a guest"
+        );
+        let machine = Arc::clone(&kernel.machine);
+        let refcount = VoRefCount::new();
+        let native_vo = CountedVo::new(
+            BareOps::new(Arc::clone(&machine)) as Arc<dyn PvOps>,
+            Arc::clone(&refcount),
+            strategy,
+        );
+        let virtual_vo = CountedVo::new(
+            XenOps::new(Arc::clone(&hv), Arc::clone(&dom)) as Arc<dyn PvOps>,
+            Arc::clone(&refcount),
+            strategy,
+        );
+        kernel.set_pv(Arc::clone(&virtual_vo) as Arc<dyn PvOps>);
+        Ok(Self::finish_install(
+            kernel,
+            hv,
+            machine,
+            dom,
+            refcount,
+            native_vo,
+            virtual_vo,
+            strategy,
+            AssistMode::Software,
+            None,
+            None,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_install(
+        kernel: Arc<Kernel>,
+        hv: Arc<Hypervisor>,
+        machine: Arc<Machine>,
+        dom0: Arc<Domain>,
+        refcount: Arc<VoRefCount>,
+        native_vo: Arc<CountedVo>,
+        virtual_vo: Arc<CountedVo>,
+        strategy: TrackingStrategy,
+        assist: AssistMode,
+        ept: Option<Arc<Ept>>,
+        hvm_vo: Option<Arc<CountedVo>>,
+    ) -> Arc<Mercury> {
+        let mercury = Arc::new(Mercury {
+            kernel: Arc::clone(&kernel),
+            hv,
+            machine,
+            dom0,
+            refcount,
+            native_vo,
+            virtual_vo,
+            strategy,
+            assist,
+            ept,
+            hvm_vo,
+            rendezvous: Rendezvous::new(),
+            rv_target: Mutex::new(None),
+            pending: Mutex::new(None),
+            last_outcome: Mutex::new(None),
+            stats: SwitchStats::default(),
+        });
+
+        kernel.set_self_virt_sink(Arc::new(SwitchSink(Arc::downgrade(&mercury))));
+
+        // Retry timer (§5.1.1): every kernel timer tick (10 ms), re-raise
+        // a deferred switch once the VO is idle.
+        let weak = Arc::downgrade(&mercury);
+        kernel.register_timer_callback(Arc::new(move |cpu: &Arc<Cpu>| {
+            let Some(m) = weak.upgrade() else { return };
+            let target = *m.pending.lock();
+            if let Some(target) = target {
+                if m.refcount.is_idle() {
+                    cpu.raise(match target {
+                        ExecMode::Virtual => vectors::SELF_VIRT_ATTACH,
+                        ExecMode::Native => vectors::SELF_VIRT_DETACH,
+                    });
+                }
+            }
+        }));
+        mercury
+    }
+
+    // ---- public API -------------------------------------------------------
+
+    /// Current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.kernel.exec_mode()
+    }
+
+    /// Current mode in the paper's partial/full-virtual terminology.
+    pub fn mode_detail(&self) -> ModeDetail {
+        match self.mode() {
+            ExecMode::Native => ModeDetail::Native,
+            ExecMode::Virtual => {
+                let guests = self.hv.domains().len().saturating_sub(1);
+                if guests == 0 {
+                    ModeDetail::FullVirtual
+                } else {
+                    ModeDetail::PartialVirtual { guests }
+                }
+            }
+        }
+    }
+
+    /// The kernel under management.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The pre-cached hypervisor.
+    pub fn hypervisor(&self) -> &Arc<Hypervisor> {
+        &self.hv
+    }
+
+    /// The kernel's domain record (dom0 once attached).
+    pub fn dom0(&self) -> &Arc<Domain> {
+        &self.dom0
+    }
+
+    /// The shared VO reference count (a long-running sensitive section
+    /// can be marked by holding a guard from it).
+    pub fn vo_refcount(&self) -> &Arc<VoRefCount> {
+        &self.refcount
+    }
+
+    /// The frame-accounting strategy in force.
+    pub fn strategy(&self) -> TrackingStrategy {
+        self.strategy
+    }
+
+    /// The switching mechanism in force.
+    pub fn assist(&self) -> AssistMode {
+        self.assist
+    }
+
+    /// A switch target deferred by the reference-count gate, if any.
+    pub fn pending_target(&self) -> Option<ExecMode> {
+        *self.pending.lock()
+    }
+
+    /// Request native→virtual (attach the VMM).  Triggers the dedicated
+    /// interrupt on `cpu` (the control processor) and services it.
+    pub fn switch_to_virtual(&self, cpu: &Arc<Cpu>) -> Result<SwitchOutcome, SwitchError> {
+        self.request(cpu, vectors::SELF_VIRT_ATTACH)
+    }
+
+    /// Request virtual→native (detach the VMM).
+    pub fn switch_to_native(&self, cpu: &Arc<Cpu>) -> Result<SwitchOutcome, SwitchError> {
+        self.request(cpu, vectors::SELF_VIRT_DETACH)
+    }
+
+    fn request(&self, cpu: &Arc<Cpu>, vector: u8) -> Result<SwitchOutcome, SwitchError> {
+        *self.last_outcome.lock() = None;
+        cpu.raise(vector);
+        // The switch executes at the next interrupt-service point; for
+        // the requester that is right here.
+        cpu.service_pending();
+        self.last_outcome
+            .lock()
+            .take()
+            .unwrap_or(Err(SwitchError::NothingPending))
+    }
+
+    // ---- handler paths ------------------------------------------------------
+
+    fn handle_switch(self: &Arc<Self>, cpu: &Arc<Cpu>, frame: &mut TrapFrame, target: ExecMode) {
+        let result = self.try_switch(cpu, frame, target);
+        if let Ok(SwitchOutcome::Completed { cycles }) = &result {
+            match target {
+                ExecMode::Virtual => {
+                    self.stats.attaches.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .last_attach_cycles
+                        .store(*cycles, Ordering::Relaxed);
+                }
+                ExecMode::Native => {
+                    self.stats.detaches.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .last_detach_cycles
+                        .store(*cycles, Ordering::Relaxed);
+                }
+            }
+            *self.pending.lock() = None;
+        }
+        *self.last_outcome.lock() = Some(result);
+    }
+
+    fn try_switch(
+        self: &Arc<Self>,
+        cpu: &Arc<Cpu>,
+        frame: &mut TrapFrame,
+        target: ExecMode,
+    ) -> Result<SwitchOutcome, SwitchError> {
+        if self.mode() == target {
+            return Ok(SwitchOutcome::AlreadyInMode);
+        }
+        if target == ExecMode::Native {
+            let guests = self.hv.domains().len().saturating_sub(1);
+            if guests > 0 {
+                return Err(SwitchError::GuestsPresent(guests));
+            }
+        }
+        // §5.1.1: only switch when no virtualization-sensitive code is
+        // in flight; otherwise defer to the retry timer.
+        let rc = self.refcount.current();
+        if rc != 0 {
+            *self.pending.lock() = Some(target);
+            self.stats.deferrals.fetch_add(1, Ordering::Relaxed);
+            return Ok(SwitchOutcome::Deferred { refcount: rc });
+        }
+
+        let t0 = cpu.rdtsc();
+
+        // §5.4: rendezvous the other CPUs.
+        let peers = self.machine.num_cpus() - 1;
+        if peers > 0 {
+            *self.rv_target.lock() = Some(target);
+            self.rendezvous.begin().map_err(SwitchError::Rendezvous)?;
+            self.machine
+                .intc
+                .broadcast_ipi(cpu, vectors::SELF_VIRT_RENDEZVOUS);
+            self.rendezvous
+                .wait_ready(peers)
+                .map_err(SwitchError::Rendezvous)?;
+        }
+
+        let transfer = match (self.assist, target) {
+            (AssistMode::Software, ExecMode::Virtual) => self.attach_transfer(cpu),
+            (AssistMode::Software, ExecMode::Native) => self.detach_transfer(cpu),
+            // Hardware-assisted transfers are trivial: the VMCS/EPT
+            // carry all the state (§8).  Per-CPU work happens in
+            // reload_cpu.
+            (AssistMode::HardwareAssisted, ExecMode::Virtual) => {
+                self.hv.activate();
+                Ok(())
+            }
+            (AssistMode::HardwareAssisted, ExecMode::Native) => {
+                self.hv.deactivate();
+                Ok(())
+            }
+        };
+        if let Err(e) = &transfer {
+            // Failure-resistant mode switch (the paper's §8 future-work
+            // item): a half-applied transfer would leave the kernel in
+            // the "undefined state" §4.2 warns about — stale selectors,
+            // wrong table writability.  Compensate before unwinding.
+            self.rollback_transfer(cpu, target, e);
+        }
+
+        if peers > 0 {
+            // Release the peers to do their per-CPU reload; on a failed
+            // transfer they reload for the *current* (unchanged) mode.
+            if transfer.is_err() {
+                *self.rv_target.lock() = Some(self.mode());
+            }
+            self.rendezvous.signal_go();
+            self.rendezvous
+                .wait_done(peers)
+                .map_err(SwitchError::Rendezvous)?;
+            *self.rv_target.lock() = None;
+        }
+        transfer?;
+
+        // Per-CPU reload on the control processor, and the return-stack
+        // privilege edit (§5.1.3).  Non-root guests keep PL0: hardware
+        // assist removes the de-privileging entirely.
+        self.reload_cpu(cpu, target);
+        frame.return_pl = match (self.assist, target) {
+            (AssistMode::Software, ExecMode::Virtual) => PrivLevel::Pl1,
+            _ => PrivLevel::Pl0,
+        };
+
+        // Relocate the kernel's sensitive code: one pointer store.
+        self.kernel.set_pv(match (self.assist, target) {
+            (AssistMode::HardwareAssisted, ExecMode::Virtual) => {
+                Arc::clone(self.hvm_vo.as_ref().expect("hvm VO built at install")) as Arc<dyn PvOps>
+            }
+            (_, ExecMode::Virtual) => Arc::clone(&self.virtual_vo) as Arc<dyn PvOps>,
+            (_, ExecMode::Native) => Arc::clone(&self.native_vo) as Arc<dyn PvOps>,
+        });
+
+        Ok(SwitchOutcome::Completed {
+            cycles: cpu.rdtsc() - t0,
+        })
+    }
+
+    fn handle_rendezvous_peer(self: &Arc<Self>, cpu: &Arc<Cpu>, frame: &mut TrapFrame) {
+        if self.rendezvous.check_in_and_wait().is_err() {
+            return;
+        }
+        if let Some(target) = *self.rv_target.lock() {
+            self.reload_cpu(cpu, target);
+            frame.return_pl = match (self.assist, target) {
+                (AssistMode::Software, ExecMode::Virtual) => PrivLevel::Pl1,
+                _ => PrivLevel::Pl0,
+            };
+        }
+        self.rendezvous.complete();
+    }
+
+    /// Per-CPU hardware state reload (§5.1.3): gate table, descriptor
+    /// table, and a CR3 reload to flush stale translations — or, with
+    /// hardware assist, a VMCS load and non-root entry/exit.
+    fn reload_cpu(&self, cpu: &Arc<Cpu>, target: ExecMode) {
+        if self.assist == AssistMode::HardwareAssisted {
+            cpu.tick(costs::VMCS_SWITCH);
+            match target {
+                ExecMode::Virtual => {
+                    cpu.set_non_root(self.ept.clone());
+                    cpu.tick(costs::VMENTRY);
+                    self.hv.set_current(cpu.id, Some(self.dom0.id));
+                }
+                ExecMode::Native => {
+                    cpu.set_non_root(None);
+                    cpu.tick(costs::VMEXIT);
+                    self.hv.set_current(cpu.id, None);
+                }
+            }
+            return;
+        }
+        match target {
+            ExecMode::Virtual => {
+                self.hv.install_on_cpu(cpu);
+                self.hv.set_current(cpu.id, Some(self.dom0.id));
+            }
+            ExecMode::Native => {
+                self.hv.remove_from_cpu(cpu, self.kernel.idt());
+                self.hv.set_current(cpu.id, None);
+            }
+        }
+        // Reload the (unchanged) base pointer: flushes the TLB so
+        // writability flips take effect.
+        cpu.set_cr3_raw(cpu.cr3_raw());
+    }
+
+    // ---- state transfer (§5.1.2) --------------------------------------------
+
+    /// Flip the direct-map writability of every page-table frame.
+    fn flip_table_frames(&self, cpu: &Arc<Cpu>, to_readonly: bool) -> Result<(), SwitchError> {
+        let kmap = self.kernel.kmap();
+        let mem = &self.machine.mem;
+        for f in self.kernel.all_table_frames() {
+            let Some((l1, idx)) = kmap.locate(f) else {
+                continue;
+            };
+            let pte = mem
+                .read_pte(cpu, l1, idx)
+                .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+            if !pte.present() {
+                continue;
+            }
+            let new = if to_readonly {
+                pte.without_flags(Pte::WRITABLE)
+            } else {
+                pte.with_flags(Pte::WRITABLE)
+            };
+            mem.write_pte(cpu, l1, idx, new)
+                .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite cached kernel-segment selectors on every saved kernel
+    /// stack (the §5.1.2 stack stub), and charge the per-thread segment
+    /// transfer.
+    fn fix_selectors(&self, cpu: &Arc<Cpu>, dpl: PrivLevel) {
+        self.kernel.fix_kstack_selectors(cpu, |ctx| {
+            ctx.cs.rpl = dpl;
+            ctx.ss.rpl = dpl;
+        });
+        cpu.tick(costs::THREAD_SEG_TRANSFER * self.kernel.process_count() as u64);
+    }
+
+    /// Undo a partially applied state transfer so the kernel continues
+    /// safely in its previous mode.
+    fn rollback_transfer(&self, cpu: &Arc<Cpu>, target: ExecMode, _cause: &SwitchError) {
+        match target {
+            ExecMode::Virtual => {
+                // Reverse of attach_transfer, tolerating partial state.
+                self.hv.deactivate();
+                self.hv.page_info.clear_types_for(self.dom0.id);
+                self.dom0.reset_pgds(Vec::new());
+                self.fix_selectors(cpu, PrivLevel::Pl0);
+                let _ = self.flip_table_frames(cpu, false);
+            }
+            ExecMode::Native => {
+                // Reverse of detach_transfer: re-arm the virtual state.
+                let _ = self.flip_table_frames(cpu, true);
+                self.fix_selectors(cpu, PrivLevel::Pl1);
+                let pgds = self.kernel.all_pgds();
+                let frames = self.kernel.pool_frames();
+                let _ = self.hv.page_info.recompute_for_at(
+                    cpu,
+                    &self.machine.mem,
+                    self.dom0.id,
+                    frames.len(),
+                    &pgds,
+                    self.strategy.attach_per_frame_cost(),
+                );
+                self.dom0.reset_pgds(pgds);
+                self.hv.activate();
+            }
+        }
+    }
+
+    fn attach_transfer(&self, cpu: &Arc<Cpu>) -> Result<(), SwitchError> {
+        // 1. Page-table pages become read-only in the direct map.
+        self.flip_table_frames(cpu, true)?;
+        // 2. Kernel-segment privilege in every saved thread context
+        //    becomes PL1.
+        self.fix_selectors(cpu, PrivLevel::Pl1);
+        // 3. Frame accounting: rebuild (or adopt) the VMM's page_info.
+        let pgds = self.kernel.all_pgds();
+        let frames = self.kernel.pool_frames();
+        self.hv
+            .page_info
+            .recompute_for_at(
+                cpu,
+                &self.machine.mem,
+                self.dom0.id,
+                frames.len(),
+                &pgds,
+                self.strategy.attach_per_frame_cost(),
+            )
+            .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+        self.dom0.reset_pgds(pgds);
+        // 4. Activate the pre-cached VMM and register the kernel's trap
+        //    table with it (the VO-assistant step of §4.4).
+        self.hv.activate();
+        self.virtual_vo
+            .load_trap_table(cpu, self.kernel.idt())
+            .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+        Ok(())
+    }
+
+    fn detach_transfer(&self, cpu: &Arc<Cpu>) -> Result<(), SwitchError> {
+        // 1. The dormant VMM stops tracking: wipe its accounting (a
+        //    per-frame release pass — the cheap direction of §7.4).
+        cpu.tick(costs::PGINFO_CLEAR_PER_FRAME * self.kernel.pool_frames().len() as u64);
+        self.hv.page_info.clear_types_for(self.dom0.id);
+        self.dom0.reset_pgds(Vec::new());
+        // 2. Page-table pages become writable again.
+        self.flip_table_frames(cpu, false)?;
+        // 3. Saved kernel selectors go back to PL0.
+        self.fix_selectors(cpu, PrivLevel::Pl0);
+        // 4. Deactivate.
+        self.hv.deactivate();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use nimbus::drivers::block::NativeBlockDriver;
+    use nimbus::drivers::net::NativeNetDriver;
+    use nimbus::kernel::{BootMode, KernelConfig, MmapBacking};
+    use nimbus::mm::Prot;
+    use nimbus::Session;
+    use simx86::paging::{VirtAddr, PAGE_SIZE};
+    use simx86::MachineConfig;
+
+    pub(crate) fn rig(
+        cpus: usize,
+        strategy: TrackingStrategy,
+    ) -> (Arc<Machine>, Arc<Hypervisor>, Arc<Mercury>) {
+        let machine = Machine::new(MachineConfig {
+            num_cpus: cpus,
+            mem_frames: 16 * 1024,
+            disk_sectors: 64 * 1024,
+        });
+        // Pre-cache the VMM first so its reservation comes off the top.
+        let hv = Hypervisor::warm_up(&machine);
+        let cpu = machine.boot_cpu();
+        let pool = machine.allocator.alloc_many(cpu, 8 * 1024).unwrap();
+        let kernel = Kernel::boot(
+            Arc::clone(&machine),
+            KernelConfig {
+                pool,
+                mode: BootMode::Bare,
+                fs_blocks: 4096,
+                fs_first_block: 1,
+            },
+        )
+        .unwrap();
+        let bounce = machine.allocator.alloc(cpu).unwrap();
+        kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
+        kernel.set_net_driver(NativeNetDriver::new(Arc::clone(&machine)));
+        let mercury = Mercury::install(kernel, Arc::clone(&hv), strategy).unwrap();
+        (machine, hv, mercury)
+    }
+
+    #[test]
+    fn install_keeps_native_mode_with_counted_vo() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        assert_eq!(mercury.mode(), ExecMode::Native);
+        assert_eq!(mercury.kernel().pv().name(), "mercury-native-vo");
+        assert!(!hv.is_active());
+        assert_eq!(machine.boot_cpu().pl(), PrivLevel::Pl0);
+        // dom0 record pre-created, owning the kernel's frames.
+        assert!(mercury.dom0().frame_count() > 4000);
+    }
+
+    #[test]
+    fn attach_enters_virtual_mode_correctly() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        let outcome = mercury.switch_to_virtual(cpu).unwrap();
+        let SwitchOutcome::Completed { cycles } = outcome else {
+            panic!("expected completion, got {outcome:?}");
+        };
+        assert!(cycles > 0);
+        assert_eq!(mercury.mode(), ExecMode::Virtual);
+        assert_eq!(
+            cpu.pl(),
+            PrivLevel::Pl1,
+            "privilege dropped via return stack"
+        );
+        assert!(hv.is_active());
+        assert_eq!(cpu.current_idt().unwrap().owner, "xenon");
+        assert_eq!(cpu.current_gdt(), simx86::cpu::Gdt::VIRTUALIZED);
+        // Every live pgd is pinned & typed.
+        for pgd in mercury.kernel().all_pgds() {
+            let (typ, count) = hv.page_info.type_of(pgd);
+            assert_eq!(typ, xenon::PageType::L2);
+            assert!(count > 0);
+            assert!(hv.page_info.get(pgd).pinned);
+        }
+        // Table frames are read-only in the direct map (§5.1.2 item 1).
+        let kmap = mercury.kernel().kmap();
+        for f in mercury.kernel().all_table_frames() {
+            if let Some((l1, idx)) = kmap.locate(f) {
+                let pte = machine.mem.read_pte(cpu, l1, idx).unwrap();
+                assert!(!pte.writable(), "table frame {f:?} still writable");
+            }
+        }
+    }
+
+    #[test]
+    fn detach_restores_native_exactly() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        mercury.switch_to_virtual(cpu).unwrap();
+        let outcome = mercury.switch_to_native(cpu).unwrap();
+        assert!(matches!(outcome, SwitchOutcome::Completed { .. }));
+        assert_eq!(mercury.mode(), ExecMode::Native);
+        assert_eq!(cpu.pl(), PrivLevel::Pl0);
+        assert!(!hv.is_active());
+        assert_eq!(cpu.current_idt().unwrap().owner, "nimbus");
+        assert_eq!(cpu.current_gdt(), simx86::cpu::Gdt::NATIVE);
+        // Accounting wiped, tables writable again.
+        for pgd in mercury.kernel().all_pgds() {
+            assert_eq!(hv.page_info.type_of(pgd), (xenon::PageType::None, 0));
+        }
+        let kmap = mercury.kernel().kmap();
+        for f in mercury.kernel().all_table_frames() {
+            if let Some((l1, idx)) = kmap.locate(f) {
+                assert!(machine.mem.read_pte(cpu, l1, idx).unwrap().writable());
+            }
+        }
+    }
+
+    #[test]
+    fn workload_runs_identically_across_switches() {
+        // §4.3 behaviour consistency: a workload spanning mode switches
+        // sees no difference.
+        let (machine, _hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        let va = sess.mmap(4, Prot::RW, MmapBacking::Anon).unwrap();
+        sess.poke(va, 100).unwrap();
+
+        mercury.switch_to_virtual(cpu).unwrap();
+        // Memory contents and mappings survived; new work proceeds.
+        assert_eq!(sess.peek(va).unwrap(), 100);
+        sess.poke(VirtAddr(va.0 + PAGE_SIZE), 200).unwrap();
+        let child = sess.fork().unwrap();
+        assert!(child.0 > 1);
+        let fd = sess.open("cross.txt", true).unwrap();
+        sess.write(fd, b"written virtual").unwrap();
+
+        mercury.switch_to_native(cpu).unwrap();
+        assert_eq!(sess.peek(va).unwrap(), 100);
+        assert_eq!(sess.peek(VirtAddr(va.0 + PAGE_SIZE)).unwrap(), 200);
+        assert_eq!(sess.stat("cross.txt").unwrap().size, 15);
+        // And a process forked in virtual mode is still schedulable.
+        sess.sched_yield().unwrap();
+        assert_eq!(sess.current_pid(), Some(child));
+    }
+
+    #[test]
+    fn busy_vo_defers_and_retry_timer_commits() {
+        let (machine, _hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        let guard = mercury.vo_refcount().enter();
+        let outcome = mercury.switch_to_virtual(cpu).unwrap();
+        assert_eq!(outcome, SwitchOutcome::Deferred { refcount: 1 });
+        assert_eq!(mercury.mode(), ExecMode::Native);
+        assert_eq!(mercury.pending_target(), Some(ExecMode::Virtual));
+        assert_eq!(mercury.stats.deferrals.load(Ordering::Relaxed), 1);
+
+        // Still busy at the next tick: stays native.
+        cpu.tick(costs::SWITCH_RETRY_PERIOD + 1000);
+        machine.timer.poll(cpu);
+        cpu.service_pending();
+        assert_eq!(mercury.mode(), ExecMode::Native);
+
+        // Release and let the retry timer fire (§5.1.1).
+        drop(guard);
+        cpu.tick(costs::SWITCH_RETRY_PERIOD + 1000);
+        machine.timer.poll(cpu);
+        cpu.service_pending();
+        assert_eq!(mercury.mode(), ExecMode::Virtual);
+        assert_eq!(mercury.pending_target(), None);
+    }
+
+    #[test]
+    fn switch_times_match_paper_shape() {
+        let (machine, _hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        let SwitchOutcome::Completed { cycles: attach } = mercury.switch_to_virtual(cpu).unwrap()
+        else {
+            panic!()
+        };
+        let SwitchOutcome::Completed { cycles: detach } = mercury.switch_to_native(cpu).unwrap()
+        else {
+            panic!()
+        };
+        let attach_us = costs::cycles_to_us(attach);
+        let detach_us = costs::cycles_to_us(detach);
+        // §7.4: "about 0.22 ms to do a switch from native mode to
+        // virtual mode, and 0.06 ms to a switch back".
+        assert!(
+            (60.0..600.0).contains(&attach_us),
+            "attach {attach_us} µs out of band"
+        );
+        assert!(
+            detach_us < attach_us / 2.0,
+            "detach {detach_us} µs not ≪ attach"
+        );
+        assert!(detach_us > 1.0);
+    }
+
+    #[test]
+    fn active_tracking_attaches_faster() {
+        let (m1, _h1, recompute) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let (m2, _h2, tracking) = rig(1, TrackingStrategy::ActiveTracking);
+        let SwitchOutcome::Completed { cycles: slow } =
+            recompute.switch_to_virtual(m1.boot_cpu()).unwrap()
+        else {
+            panic!()
+        };
+        let SwitchOutcome::Completed { cycles: fast } =
+            tracking.switch_to_virtual(m2.boot_cpu()).unwrap()
+        else {
+            panic!()
+        };
+        assert!(
+            fast < slow / 2,
+            "active tracking attach ({fast}) should be well under recompute ({slow})"
+        );
+    }
+
+    #[test]
+    fn repeated_round_trips_are_stable() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        let va = sess.mmap(2, Prot::RW, MmapBacking::Anon).unwrap();
+
+        let mut snapshots = Vec::new();
+        for i in 0..5u64 {
+            sess.poke(va, i).unwrap();
+            mercury.switch_to_virtual(cpu).unwrap();
+            // Strip dirty bits: they legitimately differ run to run.
+            let snap: Vec<_> = hv
+                .page_info
+                .snapshot()
+                .into_iter()
+                .map(|mut r| {
+                    r.dirty = false;
+                    r
+                })
+                .collect();
+            snapshots.push(snap);
+            assert_eq!(sess.peek(va).unwrap(), i);
+            mercury.switch_to_native(cpu).unwrap();
+        }
+        // Idempotence: every attach rebuilt identical accounting.
+        for w in snapshots.windows(2) {
+            assert_eq!(w[0], w[1], "page_info differs between attaches");
+        }
+        assert_eq!(mercury.stats.attaches.load(Ordering::Relaxed), 5);
+        assert_eq!(mercury.stats.detaches.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn detach_refused_while_hosting_guests() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        mercury.switch_to_virtual(cpu).unwrap();
+        // Host a guest (the M-U shape).
+        let quota = machine.allocator.alloc_many(cpu, 64).unwrap();
+        let domu = hv.create_domain(cpu, "domU", quota, 0).unwrap();
+        let err = mercury.switch_to_native(cpu).unwrap_err();
+        assert_eq!(err, SwitchError::GuestsPresent(1));
+        assert_eq!(mercury.mode(), ExecMode::Virtual);
+        // Destroy the guest: detach proceeds.
+        let frames = hv.destroy_domain(cpu, &domu).unwrap();
+        for f in frames {
+            machine.allocator.free(f);
+        }
+        assert!(matches!(
+            mercury.switch_to_native(cpu).unwrap(),
+            SwitchOutcome::Completed { .. }
+        ));
+    }
+
+    #[test]
+    fn mode_detail_follows_hosted_guests() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        assert_eq!(mercury.mode_detail(), ModeDetail::Native);
+        mercury.switch_to_virtual(cpu).unwrap();
+        // Alone on the VMM: migratable (§6.3's full-virtual mode).
+        assert_eq!(mercury.mode_detail(), ModeDetail::FullVirtual);
+        let quota = machine.allocator.alloc_many(cpu, 16).unwrap();
+        let dom = hv.create_domain(cpu, "tenant", quota, 0).unwrap();
+        // Hosting: partial-virtual mode.
+        assert_eq!(
+            mercury.mode_detail(),
+            ModeDetail::PartialVirtual { guests: 1 }
+        );
+        let frames = hv.destroy_domain(cpu, &dom).unwrap();
+        for f in frames {
+            machine.allocator.free(f);
+        }
+        assert_eq!(mercury.mode_detail(), ModeDetail::FullVirtual);
+        mercury.switch_to_native(cpu).unwrap();
+        assert_eq!(mercury.mode_detail(), ModeDetail::Native);
+    }
+
+    #[test]
+    fn already_in_mode_is_a_noop() {
+        let (machine, _hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        assert_eq!(
+            mercury.switch_to_native(cpu).unwrap(),
+            SwitchOutcome::AlreadyInMode
+        );
+        mercury.switch_to_virtual(cpu).unwrap();
+        assert_eq!(
+            mercury.switch_to_virtual(cpu).unwrap(),
+            SwitchOutcome::AlreadyInMode
+        );
+    }
+
+    #[test]
+    fn smp_switch_coordinates_both_cpus() {
+        use std::sync::atomic::AtomicBool as StopFlag;
+        let (machine, _hv, mercury) = rig(2, TrackingStrategy::RecomputeOnSwitch);
+        let cpu0 = Arc::clone(&machine.cpus[0]);
+        let cpu1 = Arc::clone(&machine.cpus[1]);
+
+        // CPU 1 runs a service loop on its own thread (as a real second
+        // core would execute code with interrupts enabled).
+        let stop = Arc::new(StopFlag::new(false));
+        let peer = {
+            let stop = Arc::clone(&stop);
+            let cpu1 = Arc::clone(&cpu1);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    cpu1.tick(50);
+                    cpu1.service_pending();
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let out = mercury.switch_to_virtual(&cpu0).unwrap();
+        assert!(matches!(out, SwitchOutcome::Completed { .. }));
+        assert_eq!(cpu0.pl(), PrivLevel::Pl1);
+        // Wait for CPU1's handler to have run its reload step.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while cpu1.pl() != PrivLevel::Pl1 {
+            assert!(std::time::Instant::now() < deadline, "cpu1 never switched");
+            std::thread::yield_now();
+        }
+        assert_eq!(cpu1.current_idt().unwrap().owner, "xenon");
+
+        let out = mercury.switch_to_native(&cpu0).unwrap();
+        assert!(matches!(out, SwitchOutcome::Completed { .. }));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while cpu1.pl() != PrivLevel::Pl0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "cpu1 never switched back"
+            );
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        peer.join().unwrap();
+        assert_eq!(cpu1.current_idt().unwrap().owner, "nimbus");
+    }
+
+    #[test]
+    fn smp_switch_times_out_if_peer_not_serving() {
+        let (machine, _hv, mercury) = rig(2, TrackingStrategy::RecomputeOnSwitch);
+        let cpu0 = Arc::clone(&machine.cpus[0]);
+        // CPU1 never services interrupts → rendezvous must time out, and
+        // the system must remain native and consistent.
+        let err = mercury.switch_to_virtual(&cpu0).unwrap_err();
+        assert!(matches!(err, SwitchError::Rendezvous(_)));
+        assert_eq!(mercury.mode(), ExecMode::Native);
+        assert_eq!(cpu0.pl(), PrivLevel::Pl0);
+    }
+
+    #[test]
+    fn kstack_selectors_are_rewritten_across_switch() {
+        let (machine, _hv, mercury) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu = machine.boot_cpu();
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        // Park a process with a saved context on its kernel stack.
+        let child = sess.fork().unwrap();
+        assert_eq!(sess.waitpid().unwrap(), None); // parent blocks; child runs
+        assert_eq!(sess.current_pid(), Some(child));
+        assert!(mercury.kernel().kstack_contexts() > 0);
+
+        // Switch modes, then resume the parked process: without the
+        // §5.1.2 selector fixup this pops a stale PL0 selector under the
+        // PL1 GDT and faults.
+        mercury.switch_to_virtual(cpu).unwrap();
+        sess.exit(0).unwrap(); // child exits; parent is rescheduled
+        assert_eq!(sess.current_pid(), Some(nimbus::Pid(1)));
+        let reaped = sess.waitpid().unwrap().unwrap();
+        assert_eq!(reaped.0, child);
+    }
+}
+
+#[cfg(test)]
+mod hw_tests {
+    use super::*;
+    use nimbus::drivers::block::NativeBlockDriver;
+    use nimbus::drivers::net::NativeNetDriver;
+    use nimbus::kernel::{BootMode, KernelConfig, MmapBacking};
+    use nimbus::mm::Prot;
+    use nimbus::Session;
+    use simx86::paging::{VirtAddr, PAGE_SIZE};
+    use simx86::MachineConfig;
+
+    fn hw_rig() -> (Arc<Machine>, Arc<Hypervisor>, Arc<Mercury>) {
+        let machine = Machine::new(MachineConfig {
+            num_cpus: 1,
+            mem_frames: 16 * 1024,
+            disk_sectors: 64 * 1024,
+        });
+        let hv = Hypervisor::warm_up(&machine);
+        let cpu = machine.boot_cpu();
+        let pool = machine.allocator.alloc_many(cpu, 8 * 1024).unwrap();
+        let kernel = Kernel::boot(
+            Arc::clone(&machine),
+            KernelConfig {
+                pool,
+                mode: BootMode::Bare,
+                fs_blocks: 4096,
+                fs_first_block: 1,
+            },
+        )
+        .unwrap();
+        let bounce = machine.allocator.alloc(cpu).unwrap();
+        kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
+        kernel.set_net_driver(NativeNetDriver::new(Arc::clone(&machine)));
+        let mercury = Mercury::install_with_assist(
+            kernel,
+            Arc::clone(&hv),
+            TrackingStrategy::RecomputeOnSwitch,
+            AssistMode::HardwareAssisted,
+        )
+        .unwrap();
+        (machine, hv, mercury)
+    }
+
+    #[test]
+    fn hardware_attach_enters_non_root_at_pl0() {
+        let (machine, hv, mercury) = hw_rig();
+        let cpu = machine.boot_cpu();
+        assert_eq!(mercury.assist(), AssistMode::HardwareAssisted);
+        let SwitchOutcome::Completed { cycles } = mercury.switch_to_virtual(cpu).unwrap() else {
+            panic!()
+        };
+        assert_eq!(mercury.mode(), ExecMode::Virtual);
+        // The §8 story: no de-privileging, guest keeps its gate table.
+        assert_eq!(cpu.pl(), PrivLevel::Pl0);
+        assert!(cpu.in_non_root());
+        assert_eq!(cpu.current_idt().unwrap().owner, "nimbus");
+        assert!(hv.is_active());
+        assert_eq!(mercury.kernel().pv().name(), "mercury-virtual-vo");
+        // ... and it is fast: no recompute, no flips, no fixups.
+        let us = costs::cycles_to_us(cycles);
+        assert!(us < 20.0, "hardware attach took {us} µs");
+
+        mercury.switch_to_native(cpu).unwrap();
+        assert!(!cpu.in_non_root());
+        assert_eq!(cpu.pl(), PrivLevel::Pl0);
+        assert!(!hv.is_active());
+    }
+
+    #[test]
+    fn hardware_attach_is_much_faster_than_software() {
+        let (m_hw, _h1, hw) = hw_rig();
+        let (m_sw, _h2, sw) = super::tests::rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let SwitchOutcome::Completed { cycles: hw_cycles } =
+            hw.switch_to_virtual(m_hw.boot_cpu()).unwrap()
+        else {
+            panic!()
+        };
+        let SwitchOutcome::Completed { cycles: sw_cycles } =
+            sw.switch_to_virtual(m_sw.boot_cpu()).unwrap()
+        else {
+            panic!()
+        };
+        assert!(
+            hw_cycles * 10 < sw_cycles,
+            "VMCS switch ({hw_cycles}) should be ≫10× faster than software ({sw_cycles})"
+        );
+    }
+
+    #[test]
+    fn workload_runs_identically_in_hvm_mode() {
+        let (machine, _hv, mercury) = hw_rig();
+        let cpu = machine.boot_cpu();
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        let va = sess.mmap(4, Prot::RW, MmapBacking::Anon).unwrap();
+        sess.poke(va, 41).unwrap();
+
+        mercury.switch_to_virtual(cpu).unwrap();
+        assert_eq!(sess.peek(va).unwrap(), 41);
+        sess.poke(VirtAddr(va.0 + PAGE_SIZE), 42).unwrap();
+        let child = sess.fork().unwrap();
+        assert!(child.0 > 1);
+        let fd = sess.open("hvm.txt", true).unwrap();
+        sess.write(fd, b"non-root").unwrap();
+
+        mercury.switch_to_native(cpu).unwrap();
+        assert_eq!(sess.peek(VirtAddr(va.0 + PAGE_SIZE)).unwrap(), 42);
+        assert_eq!(sess.stat("hvm.txt").unwrap().size, 8);
+    }
+
+    #[test]
+    fn hvm_mmu_ops_cost_near_native_while_io_costs_exits() {
+        // The §8 trade-off: MMU-heavy ops (fork) get cheap, device I/O
+        // pays VM exits.
+        let (machine, _hv, mercury) = hw_rig();
+        let cpu = machine.boot_cpu();
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        let va = sess.mmap(64, Prot::RW, MmapBacking::Anon).unwrap();
+        for p in 0..64u64 {
+            sess.poke(VirtAddr(va.0 + p * PAGE_SIZE), p).unwrap();
+        }
+        let t0 = cpu.cycles();
+        sess.fork().unwrap();
+        let native_fork = cpu.cycles() - t0;
+
+        mercury.switch_to_virtual(cpu).unwrap();
+        let t0 = cpu.cycles();
+        sess.fork().unwrap();
+        let hvm_fork = cpu.cycles() - t0;
+        // Within ~15% of native (vs several-fold for paravirtual mode).
+        assert!(
+            hvm_fork < native_fork * 115 / 100,
+            "HVM fork {hvm_fork} vs native {native_fork}"
+        );
+
+        // Disk I/O pays the exit tax.
+        let fd = sess.open("io.dat", true).unwrap();
+        sess.write(fd, &vec![1u8; 4096]).unwrap();
+        let t0 = cpu.cycles();
+        sess.sync().unwrap();
+        let hvm_sync = cpu.cycles() - t0;
+        mercury.switch_to_native(cpu).unwrap();
+        sess.write(fd, &vec![2u8; 4096]).unwrap();
+        let t0 = cpu.cycles();
+        sess.sync().unwrap();
+        let native_sync = cpu.cycles() - t0;
+        assert!(
+            hvm_sync > native_sync + costs::VMEXIT,
+            "HVM sync {hvm_sync} must pay exits over native {native_sync}"
+        );
+    }
+
+    #[test]
+    fn ept_confines_the_guest() {
+        let (machine, _hv, mercury) = hw_rig();
+        let cpu = machine.boot_cpu();
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        let va = sess.mmap(1, Prot::RW, MmapBacking::Anon).unwrap();
+        sess.poke(va, 1).unwrap();
+        mercury.switch_to_virtual(cpu).unwrap();
+
+        // Corrupt the PTE behind `va` to point at the VMM's reserved
+        // memory (the §6.2-style bit flip).  In software mode the
+        // validators would have rejected this at attach; in hardware
+        // mode the EPT stops the access itself.
+        let foreign = machine.mem.num_frames() as u32 - 1;
+        let pgd = simx86::FrameNum(cpu.cr3_raw());
+        let (pte, table, index) = simx86::Mmu::walk_leaf(&machine.mem, cpu, pgd, va)
+            .unwrap()
+            .unwrap();
+        machine
+            .mem
+            .write_pte(cpu, table, index, simx86::Pte::new(foreign, pte.0 & 0xfff))
+            .unwrap();
+        cpu.flush_tlb_local();
+
+        let err = sess.touch(va, false).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                nimbus::KernelError::Oops(simx86::Fault::EptViolation { .. })
+            ),
+            "expected an EPT violation, got {err:?}"
+        );
+        assert!(mercury.ept.as_ref().unwrap().violations() > 0);
+    }
+}

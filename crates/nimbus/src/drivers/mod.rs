@@ -1,0 +1,17 @@
+//! Device drivers, in both shapes of the paper's §5.2:
+//!
+//! * **Native** drivers touch the simulated hardware directly — what a
+//!   bare kernel or the driver domain (domain0) uses.
+//! * **Frontend** drivers forward requests to a **backend** in the
+//!   driver domain over grant-backed shared-memory rings — what a
+//!   production domain (domainU) uses.
+
+pub mod blkback;
+pub mod block;
+pub mod net;
+pub mod netback;
+
+pub use blkback::BlkBackend;
+pub use block::{BlockDriver, FrontendBlockDriver, NativeBlockDriver};
+pub use net::{FrontendNetDriver, NativeNetDriver, NetDriver};
+pub use netback::NetBackend;

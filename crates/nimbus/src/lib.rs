@@ -1,0 +1,52 @@
+//! # nimbus — a Unix-like simulated kernel with a paravirt-ops layer
+//!
+//! Nimbus is the reproduction's stand-in for the paper's Linux 2.6.16:
+//! the operating system that Mercury teaches to virtualize itself.  It
+//! implements the kernel subsystems whose behaviour the paper's
+//! evaluation measures:
+//!
+//! * **Processes** with copy-on-write `fork`, `exec` from program
+//!   images, wait/exit, and pipes (the lmbench process and
+//!   context-switch latencies of Tables 1–2).
+//! * **Virtual memory**: per-process two-level page tables built in
+//!   simulated frames, demand-zero and file-backed page faults, COW
+//!   resolution, `mmap`/`munmap`/`mprotect` (lmbench mmap/fault rows).
+//! * A **scheduler** with run queue, blocking, and context switches that
+//!   reload CR3 and the kernel stack through the paravirt layer.
+//! * A **filesystem** with a buffer cache over a block driver (dbench,
+//!   OSDB and kernel-build workloads), plus **sockets** over a network
+//!   driver (ping/Iperf).
+//! * **Drivers** in both shapes of §5.2: native drivers that touch the
+//!   simulated hardware directly, and split frontend/backend drivers
+//!   that cross domains through grant-backed shared-memory rings.
+//!
+//! Every virtualization-sensitive operation — CR3 loads, PTE writes,
+//! TLB flushes, descriptor-table loads, trap entry costs — is funnelled
+//! through the [`paravirt::PvOps`] trait (the paper's VMI/paravirt-ops
+//! analogue, §4.2).  The kernel ships two implementations: [`BareOps`]
+//! for an unmodified native kernel (N-L) and [`XenOps`] for a
+//! classically paravirtualized guest (X-0/X-U).  The mercury crate adds
+//! the *switchable* virtualization objects on top.
+//!
+//! [`BareOps`]: paravirt::BareOps
+//! [`XenOps`]: paravirt::XenOps
+
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod error;
+pub mod fs;
+pub mod kernel;
+pub mod mm;
+pub mod net;
+pub mod paravirt;
+pub mod process;
+pub mod programs;
+pub mod sched;
+pub mod session;
+
+pub use error::KernelError;
+pub use kernel::{BootMode, Kernel, KernelConfig};
+pub use paravirt::{ExecMode, PvOps};
+pub use process::Pid;
+pub use session::Session;

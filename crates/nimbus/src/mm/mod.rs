@@ -1,0 +1,7 @@
+//! Memory management: the frame pool and per-process address spaces.
+
+pub mod addrspace;
+pub mod pool;
+
+pub use addrspace::{AddressSpace, FaultFix, MmCtx, Prot, Vma, VmaKind};
+pub use pool::FramePool;

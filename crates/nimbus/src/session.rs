@@ -1,0 +1,252 @@
+//! Sessions: how workload drivers enter the kernel.
+//!
+//! A session binds one host thread to one simulated CPU.  Each syscall
+//! passes a *service point*: the timer is polled, pending interrupts are
+//! dispatched, and the paravirt object's syscall entry/exit costs are
+//! charged — the simulation's equivalent of the user/kernel boundary.
+
+use crate::error::KernelError;
+use crate::kernel::{Kernel, MmapBacking, ReadOutcome, RecvOutcome, WriteOutcome};
+use crate::mm::Prot;
+use crate::process::Pid;
+use simx86::paging::{VirtAddr, PAGE_SIZE};
+use simx86::{costs, Cpu};
+use std::sync::Arc;
+
+/// A driver-thread ↔ CPU binding.
+pub struct Session {
+    kernel: Arc<Kernel>,
+    cpu: Arc<Cpu>,
+}
+
+impl Session {
+    /// Open a session on CPU `cpu_id`.
+    pub fn new(kernel: Arc<Kernel>, cpu_id: usize) -> Session {
+        let cpu = Arc::clone(&kernel.machine.cpus[cpu_id]);
+        Session { kernel, cpu }
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The CPU this session drives.
+    pub fn cpu(&self) -> &Arc<Cpu> {
+        &self.cpu
+    }
+
+    /// Pass a service point: poll devices/timer and deliver pending
+    /// interrupts.
+    pub fn service(&self) {
+        self.kernel.machine.timer.poll(&self.cpu);
+        self.cpu.service_pending();
+    }
+
+    fn enter(&self) {
+        self.service();
+        self.kernel.pv().syscall_entry(&self.cpu);
+    }
+
+    fn leave(&self) {
+        self.kernel.pv().syscall_exit(&self.cpu);
+        // Kernel preemption point: honor a pending timer reschedule.
+        let _ = self.kernel.maybe_preempt(&self.cpu);
+    }
+
+    fn syscall<R>(&self, f: impl FnOnce() -> Result<R, KernelError>) -> Result<R, KernelError> {
+        self.enter();
+        let r = f();
+        self.leave();
+        r
+    }
+
+    // ---- process management --------------------------------------------
+
+    /// Current process on this CPU.
+    pub fn current_pid(&self) -> Option<Pid> {
+        self.kernel.current_pid(&self.cpu)
+    }
+
+    /// `fork`.
+    pub fn fork(&self) -> Result<Pid, KernelError> {
+        self.syscall(|| self.kernel.fork(&self.cpu))
+    }
+
+    /// `execve`.
+    pub fn exec(&self, prog: &str) -> Result<(), KernelError> {
+        self.syscall(|| self.kernel.exec(&self.cpu, prog))
+    }
+
+    /// `exit`.
+    pub fn exit(&self, code: i32) -> Result<Option<Pid>, KernelError> {
+        self.syscall(|| self.kernel.exit(&self.cpu, code))
+    }
+
+    /// `waitpid(-1)`: `Ok(Some)` = reaped, `Ok(None)` = blocked.
+    pub fn waitpid(&self) -> Result<Option<(Pid, i32)>, KernelError> {
+        self.syscall(|| self.kernel.waitpid(&self.cpu))
+    }
+
+    /// `sched_yield`.
+    pub fn sched_yield(&self) -> Result<Pid, KernelError> {
+        self.syscall(|| self.kernel.sched_yield(&self.cpu))
+    }
+
+    /// Directed yield: make `pid` current (it must be ready).
+    pub fn run_as(&self, pid: Pid) -> Result<(), KernelError> {
+        self.syscall(|| self.kernel.yield_to(&self.cpu, pid))
+    }
+
+    /// Run the idle loop once: service interrupts and schedule anything
+    /// runnable.  Returns the running pid if any.
+    pub fn idle(&self) -> Result<Option<Pid>, KernelError> {
+        self.service();
+        self.kernel.resume_if_idle(&self.cpu)
+    }
+
+    // ---- pipes / fds -----------------------------------------------------
+
+    /// `pipe` → (read fd, write fd).
+    pub fn pipe(&self) -> Result<(usize, usize), KernelError> {
+        self.syscall(|| self.kernel.pipe(&self.cpu))
+    }
+
+    /// `read`.
+    pub fn read(&self, fd: usize, len: usize) -> Result<ReadOutcome, KernelError> {
+        self.syscall(|| self.kernel.read(&self.cpu, fd, len))
+    }
+
+    /// `write`.
+    pub fn write(&self, fd: usize, data: &[u8]) -> Result<WriteOutcome, KernelError> {
+        self.syscall(|| self.kernel.write(&self.cpu, fd, data))
+    }
+
+    /// `close`.
+    pub fn close(&self, fd: usize) -> Result<(), KernelError> {
+        self.syscall(|| self.kernel.close(&self.cpu, fd))
+    }
+
+    // ---- filesystem --------------------------------------------------------
+
+    /// `open`.
+    pub fn open(&self, name: &str, create: bool) -> Result<usize, KernelError> {
+        self.syscall(|| self.kernel.open(&self.cpu, name, create))
+    }
+
+    /// `unlink`.
+    pub fn unlink(&self, name: &str) -> Result<(), KernelError> {
+        self.syscall(|| self.kernel.unlink(&self.cpu, name))
+    }
+
+    /// `stat`.
+    pub fn stat(&self, name: &str) -> Result<crate::fs::Stat, KernelError> {
+        self.syscall(|| self.kernel.stat(&self.cpu, name))
+    }
+
+    /// `sync`.
+    pub fn sync(&self) -> Result<usize, KernelError> {
+        self.syscall(|| self.kernel.sync(&self.cpu))
+    }
+
+    /// `lseek`.
+    pub fn lseek(&self, fd: usize, pos: u64) -> Result<(), KernelError> {
+        self.syscall(|| self.kernel.lseek(&self.cpu, fd, pos))
+    }
+
+    // ---- memory --------------------------------------------------------------
+
+    /// `mmap`.
+    pub fn mmap(
+        &self,
+        pages: u64,
+        prot: Prot,
+        backing: MmapBacking,
+    ) -> Result<VirtAddr, KernelError> {
+        self.syscall(|| self.kernel.mmap(&self.cpu, pages, prot, backing))
+    }
+
+    /// `munmap`.
+    pub fn munmap(&self, va: VirtAddr, pages: u64) -> Result<u64, KernelError> {
+        self.syscall(|| self.kernel.munmap(&self.cpu, va, pages))
+    }
+
+    /// `mprotect`.
+    pub fn mprotect(&self, va: VirtAddr, pages: u64, prot: Prot) -> Result<(), KernelError> {
+        self.syscall(|| self.kernel.mprotect(&self.cpu, va, pages, prot))
+    }
+
+    /// Touch one user page (read or write), faulting as needed.  This
+    /// is "user code" — no syscall overhead, just the access and any
+    /// fault handling.
+    pub fn touch(&self, va: VirtAddr, write: bool) -> Result<(), KernelError> {
+        self.kernel.user_access(&self.cpu, va, write)?;
+        Ok(())
+    }
+
+    /// Touch a byte range, page by page, charging a cache-line cost per
+    /// 64 bytes (the lmbench ctx-switch working-set model).
+    pub fn touch_range(&self, va: VirtAddr, len: u64, write: bool) -> Result<(), KernelError> {
+        let mut lines = 0u64;
+        let mut page = va.page_base().0;
+        let end = va.0 + len;
+        while page < end {
+            self.touch(VirtAddr(page), write)?;
+            lines += (PAGE_SIZE.min(end - page)).div_ceil(64);
+            page += PAGE_SIZE;
+        }
+        // Two-tier cache refill model (see costs.rs).
+        let l2_lines = lines.min(costs::CACHE_L2_RESIDENT_LINES);
+        let mem_lines = lines - l2_lines;
+        self.cpu.tick(
+            l2_lines * costs::CACHE_LINE_REFILL_L2 + mem_lines * costs::CACHE_LINE_REFILL_MEM,
+        );
+        Ok(())
+    }
+
+    /// Write a word in user memory.
+    pub fn poke(&self, va: VirtAddr, value: u64) -> Result<(), KernelError> {
+        self.kernel.poke(&self.cpu, va, value)
+    }
+
+    /// Read a word from user memory.
+    pub fn peek(&self, va: VirtAddr) -> Result<u64, KernelError> {
+        self.kernel.peek(&self.cpu, va)
+    }
+
+    /// Clear a pending SIGSEGV on the current process.
+    pub fn clear_signal(&self) {
+        self.kernel.clear_signal(&self.cpu)
+    }
+
+    // ---- network -----------------------------------------------------------
+
+    /// `socket(port)`.
+    pub fn socket(&self, port: u16) -> Result<usize, KernelError> {
+        self.syscall(|| self.kernel.socket(&self.cpu, port))
+    }
+
+    /// `sendto`.
+    pub fn sendto(&self, fd: usize, dst_port: u16, payload: &[u8]) -> Result<(), KernelError> {
+        self.syscall(|| self.kernel.sendto(&self.cpu, fd, dst_port, payload))
+    }
+
+    /// `recvfrom`.
+    pub fn recvfrom(&self, fd: usize) -> Result<RecvOutcome, KernelError> {
+        self.syscall(|| self.kernel.recvfrom(&self.cpu, fd))
+    }
+
+    /// Non-blocking `recvfrom` (MSG_DONTWAIT).
+    pub fn recvfrom_nonblock(&self, fd: usize) -> Result<Option<(u16, Vec<u8>)>, KernelError> {
+        self.syscall(|| self.kernel.recvfrom_nonblock(&self.cpu, fd))
+    }
+
+    // ---- user compute ----------------------------------------------------
+
+    /// Burn `cycles` of pure user-mode compute (identical in every
+    /// execution mode — which is exactly why compute-bound workloads
+    /// show little virtualization overhead).
+    pub fn compute(&self, cycles: u64) {
+        self.cpu.tick(cycles);
+    }
+}

@@ -1,0 +1,15 @@
+//! Simulated devices: timer, disk, NIC, console.
+//!
+//! Devices are passive queues plus cost accounting: a `pump` step moves
+//! requests to completions and asserts interrupt lines.  The test bed
+//! pumps devices at service points, which keeps runs deterministic.
+
+pub mod console;
+pub mod disk;
+pub mod nic;
+pub mod timer;
+
+pub use console::Console;
+pub use disk::{DiskCompletion, DiskOp, DiskRequest, SimDisk};
+pub use nic::{EchoWire, LinkWire, Packet, SimNic, Wire};
+pub use timer::SimTimer;

@@ -1,0 +1,171 @@
+//! A small per-CPU translation lookaside buffer.
+//!
+//! The TLB caches virtual-page → (frame, flags) translations.  Capacity
+//! and eviction are deliberately simple (FIFO over a fixed-size table);
+//! what matters to the reproduction is *when* flushes happen: CR3 loads
+//! flush non-global entries (costly in virtual mode where they become
+//! hypercalls), and `invlpg` drops a single page.
+
+use crate::paging::Pte;
+
+/// TLB capacity in entries.
+pub const TLB_ENTRIES: usize = 64;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TlbEntry {
+    vpn: u64,
+    pte: Pte,
+}
+
+/// The TLB itself.  Owned by a [`crate::Cpu`] behind a mutex.
+#[derive(Debug)]
+pub struct Tlb {
+    entries: Vec<Option<TlbEntry>>,
+    next_slot: usize,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+}
+
+impl Tlb {
+    /// An empty TLB.
+    pub fn new() -> Tlb {
+        Tlb {
+            entries: vec![None; TLB_ENTRIES],
+            next_slot: 0,
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Look up a virtual page number.  Returns the cached leaf PTE.
+    pub fn lookup(&mut self, vpn: u64) -> Option<Pte> {
+        match self
+            .entries
+            .iter()
+            .flatten()
+            .find(|e| e.vpn == vpn)
+            .map(|e| e.pte)
+        {
+            Some(pte) => {
+                self.hits += 1;
+                Some(pte)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a translation after a successful walk.
+    pub fn insert(&mut self, vpn: u64, pte: Pte) {
+        // Replace an existing entry for the same page if present.
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|e| matches!(e, Some(x) if x.vpn == vpn))
+        {
+            *slot = Some(TlbEntry { vpn, pte });
+            return;
+        }
+        self.entries[self.next_slot] = Some(TlbEntry { vpn, pte });
+        self.next_slot = (self.next_slot + 1) % TLB_ENTRIES;
+    }
+
+    /// Drop every non-global entry (CR3 reload).
+    pub fn flush(&mut self) {
+        self.flushes += 1;
+        for e in self.entries.iter_mut() {
+            if !matches!(e, Some(x) if x.pte.global()) {
+                *e = None;
+            }
+        }
+    }
+
+    /// Drop everything including global entries (CR4.PGE toggle).
+    pub fn flush_all(&mut self) {
+        self.flushes += 1;
+        self.entries.iter_mut().for_each(|e| *e = None);
+    }
+
+    /// Drop a single page's translation (`invlpg`).
+    pub fn invalidate(&mut self, vpn: u64) {
+        for e in self.entries.iter_mut() {
+            if matches!(e, Some(x) if x.vpn == vpn) {
+                *e = None;
+            }
+        }
+    }
+
+    /// (hits, misses, flushes) counters for diagnostics.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.flushes)
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_invalidate() {
+        let mut tlb = Tlb::new();
+        assert_eq!(tlb.lookup(5), None);
+        tlb.insert(5, Pte::new(42, Pte::WRITABLE));
+        assert_eq!(tlb.lookup(5).unwrap().frame(), 42);
+        tlb.invalidate(5);
+        assert_eq!(tlb.lookup(5), None);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut tlb = Tlb::new();
+        tlb.insert(5, Pte::new(1, 0));
+        tlb.insert(5, Pte::new(2, 0));
+        assert_eq!(tlb.lookup(5).unwrap().frame(), 2);
+        // Only one slot used.
+        assert_eq!(tlb.entries.iter().flatten().count(), 1);
+    }
+
+    #[test]
+    fn flush_preserves_global_entries() {
+        let mut tlb = Tlb::new();
+        tlb.insert(1, Pte::new(10, 0));
+        tlb.insert(2, Pte::new(20, Pte::GLOBAL));
+        tlb.flush();
+        assert_eq!(tlb.lookup(1), None);
+        assert_eq!(tlb.lookup(2).unwrap().frame(), 20);
+        tlb.flush_all();
+        assert_eq!(tlb.lookup(2), None);
+    }
+
+    #[test]
+    fn eviction_wraps_around() {
+        let mut tlb = Tlb::new();
+        for i in 0..(TLB_ENTRIES as u64 + 8) {
+            tlb.insert(i, Pte::new(i as u32, 0));
+        }
+        // The earliest entries were evicted; the latest survive.
+        assert_eq!(tlb.lookup(0), None);
+        assert!(tlb.lookup(TLB_ENTRIES as u64 + 7).is_some());
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut tlb = Tlb::new();
+        tlb.insert(9, Pte::new(1, 0));
+        tlb.lookup(9);
+        tlb.lookup(10);
+        tlb.flush();
+        let (h, m, f) = tlb.stats();
+        assert_eq!((h, m, f), (1, 1, 1));
+    }
+}

@@ -1,0 +1,89 @@
+//! A dbench-3.03-style filesystem workload: the NetBench file-server
+//! op mix (create / write / read / stat / delete) measured as
+//! throughput.
+//!
+//! This is the benchmark where the paper's Fig. 3 shows the surprising
+//! split: domain0 ~15 % *slower* than native, domainU ~5 % *faster* —
+//! because the split block driver's early-acked writes hide device
+//! latency that the native driver pays synchronously.
+
+use crate::apps::AppResult;
+use crate::configs::TestBed;
+use nimbus::kernel::ReadOutcome;
+use simx86::costs::cycles_to_us;
+
+/// Bytes written per file.
+const FILE_BYTES: usize = 128 * 1024;
+/// I/O chunk.
+const CHUNK: usize = 4096;
+
+/// Run dbench: `scale` clients × a fixed per-client op mix.  Returns
+/// MB/s of simulated throughput.
+pub fn run(bed: &TestBed, scale: u32) -> AppResult {
+    let sess = bed.session(0);
+    let files_per_client = 10u32;
+    let mut bytes_moved = 0u64;
+    let t0 = sess.cpu().cycles();
+
+    for client in 0..scale {
+        for i in 0..files_per_client {
+            let name = format!("db_{client}_{i}.dat");
+            let fd = sess.open(&name, true).expect("create");
+            // Sequential write in chunks.
+            let chunk = vec![(i % 251) as u8; CHUNK];
+            for _ in 0..(FILE_BYTES / CHUNK) {
+                sess.write(fd, &chunk).expect("write");
+                bytes_moved += CHUNK as u64;
+            }
+            // Read a third of it back.
+            sess.lseek(fd, 0).expect("seek");
+            for _ in 0..(FILE_BYTES / CHUNK / 3) {
+                match sess.read(fd, CHUNK).expect("read") {
+                    ReadOutcome::Data(d) => bytes_moved += d.len() as u64,
+                    other => panic!("{other:?}"),
+                }
+            }
+            sess.stat(&name).expect("stat");
+            sess.close(fd).expect("close");
+        }
+        // Age the tree: delete half the files.
+        for i in 0..files_per_client / 2 {
+            sess.unlink(&format!("db_{client}_{i}.dat"))
+                .expect("unlink");
+        }
+    }
+
+    let us = cycles_to_us(sess.cpu().cycles() - t0);
+    AppResult {
+        score: bytes_moved as f64 / us, // bytes/µs == MB/s
+        unit: "MB/s",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::SysKind;
+
+    #[test]
+    fn produces_throughput_and_files() {
+        let bed = TestBed::build(SysKind::NL, 1);
+        let r = run(&bed, 2);
+        assert!(r.score > 1.0, "throughput {} MB/s too low", r.score);
+        // Half the files survive.
+        let sess = bed.session(0);
+        assert!(sess.stat("db_0_7.dat").is_ok());
+        assert!(sess.stat("db_0_0.dat").is_err());
+    }
+
+    #[test]
+    fn domu_write_behind_beats_dom0() {
+        // The Fig. 3 anomaly: X-U ≥ X-0 on dbench.
+        let dom0 = run(&TestBed::build(SysKind::X0, 1), 2).score;
+        let domu = run(&TestBed::build(SysKind::XU, 1), 2).score;
+        assert!(
+            domu > dom0,
+            "split write-behind must win: domU {domu} vs dom0 {dom0} MB/s"
+        );
+    }
+}

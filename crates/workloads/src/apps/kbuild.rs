@@ -1,0 +1,123 @@
+//! A Linux-kernel-build-style workload: many short-lived compiler
+//! processes (fork + exec cc1), each reading a source file, burning
+//! user-space compute, dirtying a compiler heap, and writing an object
+//! file.  Compute dominates, which is why the paper's Fig. 3 shows only
+//! ~9 % virtualization overhead here.
+
+use crate::apps::AppResult;
+use crate::configs::TestBed;
+use nimbus::kernel::MmapBacking;
+use nimbus::kernel::ReadOutcome;
+use nimbus::mm::Prot;
+use simx86::costs::cycles_to_us;
+use simx86::paging::{VirtAddr, PAGE_SIZE};
+
+/// Compilation units per scale unit.
+const UNITS_PER_SCALE: u32 = 6;
+/// Source file size.
+const SOURCE_BYTES: usize = 24 * 1024;
+/// Object file size.
+const OBJECT_BYTES: usize = 12 * 1024;
+/// Pure compile compute per unit (parsing, optimizing, codegen).
+/// Dominates, as real compilation does — which is why Fig. 3 shows only
+/// ~9 % virtualization overhead for the kernel build.
+const COMPILE_CYCLES: u64 = 18_000_000;
+/// Compiler heap pages dirtied per unit.
+const COMPILER_HEAP_PAGES: u64 = 96;
+
+/// Run the build; returns compilation units per simulated second.
+pub fn run(bed: &TestBed, scale: u32) -> AppResult {
+    let sess = bed.session(0);
+
+    // The "source tree" (not timed).
+    let units = UNITS_PER_SCALE * scale;
+    let src = vec![b'c'; SOURCE_BYTES];
+    for u in 0..units {
+        let fd = sess.open(&format!("src_{u}.c"), true).expect("create src");
+        sess.write(fd, &src).expect("write src");
+        sess.close(fd).expect("close");
+    }
+
+    let t0 = sess.cpu().cycles();
+    for u in 0..units {
+        // make forks, child execs the compiler.
+        sess.fork().expect("fork cc1");
+        assert!(sess.waitpid().expect("wait").is_none());
+        sess.exec("cc1").expect("exec cc1");
+
+        // Read the source.
+        let fd = sess.open(&format!("src_{u}.c"), false).expect("open src");
+        let mut remaining = SOURCE_BYTES;
+        while remaining > 0 {
+            match sess.read(fd, 4096).expect("read src") {
+                ReadOutcome::Data(d) if !d.is_empty() => remaining -= d.len(),
+                _ => break,
+            }
+        }
+
+        // Compile: dirty the heap, burn cycles.
+        let heap = sess
+            .mmap(COMPILER_HEAP_PAGES, Prot::RW, MmapBacking::Anon)
+            .expect("heap");
+        for p in 0..COMPILER_HEAP_PAGES {
+            sess.poke(VirtAddr(heap.0 + p * PAGE_SIZE), p)
+                .expect("dirty");
+        }
+        sess.compute(COMPILE_CYCLES);
+
+        // Emit the object file.
+        let obj = vec![0u8; OBJECT_BYTES];
+        let ofd = sess.open(&format!("obj_{u}.o"), true).expect("create obj");
+        sess.write(ofd, &obj).expect("write obj");
+        sess.exit(0).expect("cc1 exit");
+        assert!(sess.waitpid().expect("reap").is_some());
+    }
+    // Final link: read all objects, write the image.
+    let mut image = Vec::new();
+    for u in 0..units {
+        let fd = sess.open(&format!("obj_{u}.o"), false).expect("open obj");
+        if let ReadOutcome::Data(d) = sess.read(fd, OBJECT_BYTES).expect("read obj") {
+            image.extend_from_slice(&d);
+        }
+    }
+    sess.compute(COMPILE_CYCLES / 2);
+    let fd = sess.open("vmlinux", true).expect("create image");
+    sess.write(fd, &image).expect("write image");
+    sess.sync().expect("sync");
+
+    let us = cycles_to_us(sess.cpu().cycles() - t0);
+    AppResult {
+        score: units as f64 / (us / 1e6),
+        unit: "units/s",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::SysKind;
+
+    #[test]
+    fn builds_and_links() {
+        let bed = TestBed::build(SysKind::NL, 1);
+        let r = run(&bed, 1);
+        assert!(r.score > 1.0);
+        let sess = bed.session(0);
+        assert_eq!(
+            sess.stat("vmlinux").unwrap().size,
+            (UNITS_PER_SCALE as u64) * OBJECT_BYTES as u64
+        );
+    }
+
+    #[test]
+    fn compute_bound_overhead_is_moderate() {
+        // Fig. 3: ~9 % under Xen — far less than the microbenchmarks.
+        let native = run(&TestBed::build(SysKind::NL, 1), 1).score;
+        let virt = run(&TestBed::build(SysKind::X0, 1), 1).score;
+        let rel = virt / native;
+        assert!(
+            rel > 0.6 && rel < 1.01,
+            "kernel build relative performance {rel} out of band"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Application-level benchmarks — the five bars of Figs. 3 and 4.
+//!
+//! | paper benchmark | module |
+//! |---|---|
+//! | OSDB-IR (PostgreSQL information retrieval) | [`osdb`] |
+//! | dbench 3.03 (filesystem throughput) | [`dbench`] |
+//! | Linux kernel build | [`kbuild`] |
+//! | ping (ICMP round trip) | [`netperf`] |
+//! | Iperf (TCP/UDP bandwidth) | [`netperf`] |
+
+pub mod dbench;
+pub mod kbuild;
+pub mod netperf;
+pub mod osdb;
+
+use crate::configs::TestBed;
+
+/// A finished application benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppResult {
+    /// Higher-is-better score (throughput, or inverse time).
+    pub score: f64,
+    /// What the score measures.
+    pub unit: &'static str,
+}
+
+/// The five paper benchmarks, by name.
+pub const APP_NAMES: [&str; 5] = ["OSDB-IR", "dbench", "kernel build", "ping", "Iperf"];
+
+/// Run one named app benchmark at the given scale (1 = quick smoke,
+/// larger = more iterations/data).
+pub fn run_app(name: &str, bed: &TestBed, scale: u32) -> AppResult {
+    match name {
+        "OSDB-IR" => osdb::run(bed, scale),
+        "dbench" => dbench::run(bed, scale),
+        "kernel build" => kbuild::run(bed, scale),
+        "ping" => netperf::run_ping(bed, scale),
+        "Iperf" => netperf::run_iperf(bed, scale),
+        other => panic!("unknown app benchmark {other}"),
+    }
+}

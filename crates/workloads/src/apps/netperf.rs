@@ -1,0 +1,116 @@
+//! Network benchmarks: ping (round-trip latency) and an Iperf-style
+//! bandwidth stream, against the echo peer on the simulated LAN.
+
+use crate::apps::AppResult;
+use crate::configs::TestBed;
+use nimbus::kernel::RecvOutcome;
+use simx86::costs::cycles_to_us;
+
+/// Ping payload (56 data bytes like the ICMP default).
+const PING_BYTES: usize = 56;
+/// Iperf datagram payload.
+const STREAM_BYTES: usize = 1400;
+/// One-way wire latency charged per traversal (switch + cable on the
+/// 100 Mb LAN).
+const WIRE_ONE_WAY: u64 = 9_000; // 3 µs
+
+/// Pings per scale unit.
+const PINGS_PER_SCALE: u32 = 30;
+/// Datagrams per scale unit for the stream.
+const DGRAMS_PER_SCALE: u32 = 60;
+
+/// ping: round-trip latency.  Score is 1000/RTTµs (so higher is
+/// better, like every Fig. 3 bar).
+pub fn run_ping(bed: &TestBed, scale: u32) -> AppResult {
+    let sess = bed.session(0);
+    let fd = sess.socket(9000).expect("socket");
+    let payload = vec![0x11u8; PING_BYTES];
+    let n = PINGS_PER_SCALE * scale;
+    // Warm one round.
+    sess.sendto(fd, 9001, &payload).expect("send");
+    sess.cpu().tick(2 * WIRE_ONE_WAY);
+    let _ = sess.recvfrom(fd).expect("recv");
+
+    let t0 = sess.cpu().cycles();
+    for _ in 0..n {
+        sess.sendto(fd, 9001, &payload).expect("send");
+        sess.cpu().tick(2 * WIRE_ONE_WAY);
+        match sess.recvfrom(fd).expect("recv") {
+            RecvOutcome::Datagram(_, d) => assert_eq!(d.len(), PING_BYTES),
+            RecvOutcome::Blocked => panic!("echo reply lost"),
+        }
+    }
+    let rtt_us = cycles_to_us(sess.cpu().cycles() - t0) / n as f64;
+    // Release the port: benchmark harnesses run this repeatedly.
+    sess.close(fd).expect("close");
+    AppResult {
+        score: 1000.0 / rtt_us,
+        unit: "1/ms RTT",
+    }
+}
+
+/// Iperf: stream datagrams as fast as the stack allows; bandwidth in
+/// MB/s.  Latency (wire propagation) is pipelined away, so only
+/// per-packet processing costs count — exactly why the split path's
+/// copies and grant operations show up so strongly here (Fig. 3 shows
+/// domU down ~70 %).
+pub fn run_iperf(bed: &TestBed, scale: u32) -> AppResult {
+    let sess = bed.session(0);
+    let fd = sess.socket(9100).expect("socket");
+    let payload = vec![0x22u8; STREAM_BYTES];
+    let n = DGRAMS_PER_SCALE * scale;
+
+    let t0 = sess.cpu().cycles();
+    let mut sent_bytes = 0u64;
+    for i in 0..n {
+        sess.sendto(fd, 9101, &payload).expect("send");
+        sent_bytes += STREAM_BYTES as u64;
+        // Periodically drain the echo backlog (ack clocking).
+        if i % 8 == 7 {
+            while let Ok(Some(_)) = sess.recvfrom_nonblock(fd) {}
+        }
+    }
+    // Wire latency is pipelined away in a stream; only per-packet
+    // processing bounds throughput.
+    let us = cycles_to_us(sess.cpu().cycles() - t0);
+    sess.close(fd).expect("close");
+    AppResult {
+        score: sent_bytes as f64 / us,
+        unit: "MB/s",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::SysKind;
+
+    #[test]
+    fn ping_rtt_in_lan_regime() {
+        let bed = TestBed::build(SysKind::NL, 1);
+        let r = run_ping(&bed, 1);
+        let rtt_us = 1000.0 / r.score;
+        // A 100 Mb LAN round trip: tens of microseconds.
+        assert!(
+            (5.0..200.0).contains(&rtt_us),
+            "RTT {rtt_us} µs out of band"
+        );
+    }
+
+    #[test]
+    fn split_io_hurts_network_more_than_dom0() {
+        // Fig. 3 shape: X-0 moderately slower, X-U much slower.
+        let native = run_iperf(&TestBed::build(SysKind::NL, 1), 1).score;
+        let dom0 = run_iperf(&TestBed::build(SysKind::X0, 1), 1).score;
+        let domu = run_iperf(&TestBed::build(SysKind::XU, 1), 1).score;
+        assert!(dom0 < native, "dom0 {dom0} vs native {native}");
+        assert!(domu < dom0, "domU {domu} must be below dom0 {dom0}");
+    }
+
+    #[test]
+    fn iperf_reports_bandwidth() {
+        let bed = TestBed::build(SysKind::NL, 1);
+        let r = run_iperf(&bed, 1);
+        assert!(r.score > 1.0, "{} MB/s", r.score);
+    }
+}

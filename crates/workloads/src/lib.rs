@@ -1,0 +1,29 @@
+//! # mercury-workloads — the paper's benchmarks on the paper's six
+//! systems
+//!
+//! §7 of the paper measures six system configurations:
+//!
+//! | key | system |
+//! |-----|--------|
+//! | N-L | native Linux on bare hardware |
+//! | M-N | Mercury-Linux in native mode (VO indirection, dormant VMM) |
+//! | X-0 | Xen-Linux as domain0 on an always-on VMM |
+//! | M-V | Mercury-Linux switched to virtual mode |
+//! | X-U | Xen-Linux as domainU (split frontend I/O) |
+//! | M-U | unmodified guest hosted by the self-virtualized OS |
+//!
+//! [`configs`] builds each as a [`configs::TestBed`]; [`lmbench`]
+//! reproduces the nine lmbench latency rows of Tables 1–2; [`apps`]
+//! reproduces the five application benchmarks of Figs. 3–4 (OSDB-IR,
+//! dbench, kernel build, ping, Iperf); [`report`] renders paper-style
+//! tables and figure series.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod configs;
+pub mod lmbench;
+pub mod report;
+
+pub use configs::{SysKind, TestBed, ALL_SYSTEMS};
+pub use lmbench::{run_lmbench, LmbenchResults};

@@ -1,0 +1,415 @@
+//! lmbench-style OS microbenchmarks — the nine rows of Tables 1 and 2.
+//!
+//! Each benchmark reproduces the kernel-facing behaviour of its lmbench
+//! 3.0 counterpart:
+//!
+//! * `fork`/`exec`/`sh proc` — `lat_proc`: fork (+exec) a process with a
+//!   realistic dirtied working set, child exits, parent reaps.
+//! * `ctx (N p / K k)` — `lat_ctx`: N processes in a pipe ring passing a
+//!   token, each touching K KiB between passes.
+//! * `mmap` — `lat_mmap`: map a file, touch every page, unmap.
+//! * `prot fault` — `lat_sig prot`: write to a write-protected page.
+//! * `page fault` — fault pages of a fresh mapping.
+//!
+//! Latencies are *simulated* microseconds, measured with the cycle
+//! counter like the paper does (RDTSC, §7.4).
+
+use crate::configs::TestBed;
+use nimbus::kernel::{MmapBacking, ReadOutcome, WriteOutcome};
+use nimbus::mm::Prot;
+use nimbus::{Pid, Session};
+use simx86::costs::cycles_to_us;
+use simx86::paging::{VirtAddr, PAGE_SIZE};
+
+/// Pages of heap `lat_proc` dirties before forking (the fork cost is
+/// dominated by duplicating this working set, as with the real 2.6-era
+/// lmbench process).
+pub const PROC_WORKING_SET_PAGES: u64 = 380;
+
+/// Pages of the `lat_mmap` file.
+pub const MMAP_PAGES: u64 = 2000;
+
+/// One system's latencies in microseconds (a Table 1/2 column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmbenchResults {
+    /// `fork proc`.
+    pub fork: f64,
+    /// `exec proc`.
+    pub exec: f64,
+    /// `sh proc`.
+    pub sh: f64,
+    /// Context switch, 2 processes, no working set.
+    pub ctx_2p_0k: f64,
+    /// Context switch, 16 processes, 16 KiB each.
+    pub ctx_16p_16k: f64,
+    /// Context switch, 16 processes, 64 KiB each.
+    pub ctx_16p_64k: f64,
+    /// `mmap` latency.
+    pub mmap: f64,
+    /// Protection fault.
+    pub prot_fault: f64,
+    /// Page fault.
+    pub page_fault: f64,
+}
+
+impl LmbenchResults {
+    /// Row (label, value) pairs in the paper's order.
+    pub fn rows(&self) -> [(&'static str, f64); 9] {
+        [
+            ("Fork Process", self.fork),
+            ("Exec Process", self.exec),
+            ("Sh Process", self.sh),
+            ("Ctx (2p/0k)", self.ctx_2p_0k),
+            ("Ctx (16p/16k)", self.ctx_16p_16k),
+            ("Ctx (16p/64k)", self.ctx_16p_64k),
+            ("Mmap LT", self.mmap),
+            ("Prot Fault", self.prot_fault),
+            ("Page Fault", self.page_fault),
+        ]
+    }
+}
+
+fn now_us(sess: &Session) -> f64 {
+    cycles_to_us(sess.cpu().cycles())
+}
+
+/// Dirty a working set so fork has PTEs to duplicate.
+fn dirty_working_set(sess: &Session, pages: u64) -> VirtAddr {
+    let va = sess
+        .mmap(pages, Prot::RW, MmapBacking::Anon)
+        .expect("mmap working set");
+    for p in 0..pages {
+        sess.poke(VirtAddr(va.0 + p * PAGE_SIZE), p).expect("touch");
+    }
+    va
+}
+
+/// Drive one fork+exit+wait iteration; optionally exec `prog` in the
+/// child first.
+fn fork_child_roundtrip(sess: &Session, exec_prog: Option<&str>) {
+    let parent = sess.current_pid().expect("a current process");
+    let _child = sess.fork().expect("fork");
+    // Parent waits; the child becomes current.
+    let reaped = sess.waitpid().expect("wait");
+    assert!(reaped.is_none(), "child has not exited yet");
+    if let Some(prog) = exec_prog {
+        sess.exec(prog).expect("exec");
+    }
+    sess.exit(0).expect("exit");
+    // Parent is current again; reap.
+    assert_eq!(sess.current_pid(), Some(parent));
+    let reaped = sess.waitpid().expect("wait");
+    assert!(reaped.is_some(), "zombie child must be reapable");
+}
+
+/// `lat_proc fork`.
+pub fn lat_fork(bed: &TestBed, iters: u32) -> f64 {
+    let sess = bed.session(0);
+    sess.exec("lat_proc").expect("exec lat_proc");
+    dirty_working_set(&sess, PROC_WORKING_SET_PAGES);
+    // Warm up one iteration (first fork allocates tables).
+    fork_child_roundtrip(&sess, None);
+    let t0 = now_us(&sess);
+    for _ in 0..iters {
+        fork_child_roundtrip(&sess, None);
+    }
+    (now_us(&sess) - t0) / iters as f64
+}
+
+/// `lat_proc exec`.
+pub fn lat_exec(bed: &TestBed, iters: u32) -> f64 {
+    let sess = bed.session(0);
+    sess.exec("lat_proc").expect("exec lat_proc");
+    dirty_working_set(&sess, PROC_WORKING_SET_PAGES);
+    fork_child_roundtrip(&sess, Some("hello"));
+    let t0 = now_us(&sess);
+    for _ in 0..iters {
+        fork_child_roundtrip(&sess, Some("hello"));
+    }
+    (now_us(&sess) - t0) / iters as f64
+}
+
+/// `lat_proc shell`: fork + exec sh, which itself forks + execs the
+/// program.
+pub fn lat_sh(bed: &TestBed, iters: u32) -> f64 {
+    let sess = bed.session(0);
+    sess.exec("lat_proc").expect("exec lat_proc");
+    dirty_working_set(&sess, PROC_WORKING_SET_PAGES);
+
+    let one = |sess: &Session| {
+        let parent = sess.current_pid().unwrap();
+        sess.fork().expect("fork");
+        assert!(sess.waitpid().unwrap().is_none());
+        // Child: becomes the shell.
+        sess.exec("sh").expect("exec sh");
+        sess.compute(simx86::costs::SH_PARSE);
+        // The shell forks and execs the command.
+        sess.fork().expect("sh fork");
+        assert!(sess.waitpid().unwrap().is_none());
+        sess.exec("hello").expect("exec cmd");
+        sess.exit(0).expect("cmd exit");
+        // Shell reaps and exits.
+        assert!(sess.waitpid().unwrap().is_some());
+        sess.exit(0).expect("sh exit");
+        assert_eq!(sess.current_pid(), Some(parent));
+        assert!(sess.waitpid().unwrap().is_some());
+    };
+    one(&sess);
+    let t0 = now_us(&sess);
+    for _ in 0..iters {
+        one(&sess);
+    }
+    (now_us(&sess) - t0) / iters as f64
+}
+
+/// `lat_ctx`: `nprocs` processes in a pipe ring, each touching
+/// `kbytes` KiB per pass.  Returns microseconds per context switch.
+pub fn lat_ctx(bed: &TestBed, nprocs: usize, kbytes: u64, passes: u32) -> f64 {
+    assert!(nprocs >= 2);
+    let sess = bed.session(0);
+
+    // Ring of pipes; process i reads pipe i, writes pipe (i+1) % n.
+    let pipes: Vec<(usize, usize)> = (0..nprocs).map(|_| sess.pipe().expect("pipe")).collect();
+    // Working buffers (one per process is modelled by per-process COW
+    // copies of one region).
+    let buf = if kbytes > 0 {
+        Some(dirty_working_set(&sess, kbytes.div_ceil(4)))
+    } else {
+        None
+    };
+
+    // Fork the ring members; each child's role is its ring index.
+    let root = sess.current_pid().expect("current");
+    let mut members: Vec<Pid> = vec![root];
+    for _ in 1..nprocs {
+        members.push(sess.fork().expect("fork ring member"));
+    }
+    let role_of = |pid: Pid| members.iter().position(|&m| m == pid);
+
+    // Inject the token, then run the ring until `passes` full rotations
+    // complete.  The driver always acts for whichever process is
+    // current, exactly as the kernel schedules them.
+    let total_hops = passes as u64 * nprocs as u64;
+    let mut hops = 0u64;
+    sess.write(pipes[1 % nprocs].1, b"T").expect("inject token");
+    let t0 = now_us(&sess);
+    let mut guard = 0u64;
+    while hops < total_hops {
+        guard += 1;
+        assert!(guard < total_hops * 64, "ring failed to make progress");
+        let cur = match sess.current_pid() {
+            Some(p) => p,
+            None => {
+                sess.idle().expect("idle");
+                continue;
+            }
+        };
+        let Some(role) = role_of(cur) else {
+            // A leftover process from an earlier benchmark got
+            // scheduled: it just yields.
+            sess.sched_yield().expect("yield foreign");
+            continue;
+        };
+        match sess.read(pipes[role].0, 1).expect("ring read") {
+            ReadOutcome::Data(d) if !d.is_empty() => {
+                if let Some(buf) = buf {
+                    sess.touch_range(buf, kbytes * 1024, false).expect("touch");
+                }
+                hops += 1;
+                let next = (role + 1) % nprocs;
+                match sess.write(pipes[next].1, b"T").expect("ring write") {
+                    WriteOutcome::Wrote(_) => {}
+                    WriteOutcome::Blocked => {}
+                }
+                // Hand the CPU over (the reader was woken).
+                sess.sched_yield().expect("yield");
+            }
+            _ => { /* blocked: scheduler moved to another member */ }
+        }
+    }
+    let per_switch = (now_us(&sess) - t0) / total_hops as f64;
+
+    // Teardown: retire the ring children so later benchmarks see a
+    // clean process table.
+    let mut reaped = 0;
+    let mut guard = 0;
+    while reaped < nprocs - 1 {
+        guard += 1;
+        assert!(guard < nprocs * 64, "ring teardown stuck");
+        let cur = match sess.current_pid() {
+            Some(p) => p,
+            None => {
+                sess.idle().expect("idle");
+                continue;
+            }
+        };
+        if cur == root {
+            if sess.waitpid().expect("reap ring").is_some() {
+                reaped += 1;
+            }
+        } else if members.contains(&cur) {
+            sess.exit(0).expect("ring member exit");
+        } else {
+            sess.sched_yield().expect("yield foreign");
+        }
+    }
+    per_switch
+}
+
+/// `lat_mmap`: map a file, touch every page, unmap.
+pub fn lat_mmap(bed: &TestBed, iters: u32) -> f64 {
+    let sess = bed.session(0);
+    // Build the file once.
+    let fd = sess.open("lat_mmap.dat", true).expect("create");
+    let chunk = vec![7u8; 4096];
+    for _ in 0..MMAP_PAGES {
+        sess.write(fd, &chunk).expect("fill");
+    }
+    let ino = sess.stat("lat_mmap.dat").expect("stat").ino;
+
+    let one = |sess: &Session| {
+        let va = sess
+            .mmap(MMAP_PAGES, Prot::RO, MmapBacking::File { ino, offset: 0 })
+            .expect("mmap");
+        for p in 0..MMAP_PAGES {
+            sess.touch(VirtAddr(va.0 + p * PAGE_SIZE), false)
+                .expect("touch");
+        }
+        sess.munmap(va, MMAP_PAGES).expect("munmap");
+    };
+    one(&sess); // warm the buffer cache
+    let t0 = now_us(&sess);
+    for _ in 0..iters {
+        one(&sess);
+    }
+    (now_us(&sess) - t0) / iters as f64
+}
+
+/// Protection-fault latency: write to a write-protected page, handle
+/// the signal.
+pub fn lat_prot_fault(bed: &TestBed, iters: u32) -> f64 {
+    let sess = bed.session(0);
+    let va = sess.mmap(1, Prot::RW, MmapBacking::Anon).expect("mmap");
+    sess.poke(va, 1).expect("populate");
+    sess.mprotect(va, 1, Prot::RO).expect("protect");
+    // Warm.
+    assert!(sess.touch(va, true).is_err());
+    sess.clear_signal();
+    let t0 = now_us(&sess);
+    for _ in 0..iters {
+        let _ = sess.touch(va, true);
+        sess.clear_signal();
+    }
+    let result = (now_us(&sess) - t0) / iters as f64;
+    // Clean up so harnesses can call this repeatedly.
+    sess.munmap(va, 1).expect("munmap");
+    result
+}
+
+/// Page-fault latency: demand-fault fresh pages.
+pub fn lat_page_fault(bed: &TestBed, pages: u32) -> f64 {
+    let sess = bed.session(0);
+    let va = sess
+        .mmap(pages as u64, Prot::RW, MmapBacking::Anon)
+        .expect("mmap");
+    let t0 = now_us(&sess);
+    for p in 0..pages as u64 {
+        sess.touch(VirtAddr(va.0 + p * PAGE_SIZE), true)
+            .expect("fault");
+    }
+    let result = (now_us(&sess) - t0) / pages as f64;
+    sess.munmap(va, pages as u64).expect("munmap");
+    result
+}
+
+/// Iteration counts for a full run (kept modest: the simulation runs
+/// hundreds of kernel operations per iteration).
+#[derive(Debug, Clone, Copy)]
+pub struct LmbenchIters {
+    /// fork/exec/sh iterations.
+    pub procs: u32,
+    /// Context-switch passes.
+    pub ctx_passes: u32,
+    /// mmap iterations.
+    pub mmap: u32,
+    /// Fault iterations.
+    pub faults: u32,
+}
+
+impl Default for LmbenchIters {
+    fn default() -> Self {
+        LmbenchIters {
+            procs: 10,
+            ctx_passes: 20,
+            mmap: 4,
+            faults: 200,
+        }
+    }
+}
+
+/// Run all nine rows on one system.
+pub fn run_lmbench(bed: &TestBed, iters: LmbenchIters) -> LmbenchResults {
+    LmbenchResults {
+        fork: lat_fork(bed, iters.procs),
+        exec: lat_exec(bed, iters.procs),
+        sh: lat_sh(bed, iters.procs),
+        ctx_2p_0k: lat_ctx(bed, 2, 0, iters.ctx_passes),
+        ctx_16p_16k: lat_ctx(bed, 16, 16, iters.ctx_passes.min(8)),
+        ctx_16p_64k: lat_ctx(bed, 16, 64, iters.ctx_passes.min(8)),
+        mmap: lat_mmap(bed, iters.mmap),
+        prot_fault: lat_prot_fault(bed, iters.faults),
+        page_fault: lat_page_fault(bed, iters.faults),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::SysKind;
+
+    #[test]
+    fn fork_latency_is_in_the_papers_regime() {
+        let bed = TestBed::build(SysKind::NL, 1);
+        let us = lat_fork(&bed, 3);
+        // Table 1 N-L: 98 µs.  Accept a generous band.
+        assert!((40.0..250.0).contains(&us), "native fork {us} µs");
+    }
+
+    #[test]
+    fn virtual_fork_is_several_times_native() {
+        let native = lat_fork(&TestBed::build(SysKind::NL, 1), 3);
+        let virt = lat_fork(&TestBed::build(SysKind::X0, 1), 3);
+        let ratio = virt / native;
+        // Table 1: 482/98 ≈ 4.9.
+        assert!(ratio > 2.5, "fork ratio {ratio} too small");
+    }
+
+    #[test]
+    fn ctx_switch_ring_works_and_scales_with_working_set() {
+        let bed = TestBed::build(SysKind::NL, 1);
+        let c0 = lat_ctx(&bed, 2, 0, 10);
+        let c64 = lat_ctx(&bed, 2, 64, 10);
+        assert!(c0 > 0.2, "ctx(2p/0k) {c0} µs implausibly small");
+        assert!(
+            c64 > c0 * 2.0,
+            "64k working set must dominate: {c0} vs {c64}"
+        );
+    }
+
+    #[test]
+    fn fault_latencies_ordered() {
+        let bed = TestBed::build(SysKind::NL, 1);
+        let prot = lat_prot_fault(&bed, 50);
+        let page = lat_page_fault(&bed, 50);
+        // Page faults allocate+zero; protection faults do not.
+        assert!(page > prot, "page {page} vs prot {prot}");
+        assert!(prot > 0.2 && prot < 5.0);
+    }
+
+    #[test]
+    fn mmap_measures_per_iteration_work() {
+        let bed = TestBed::build(SysKind::NL, 1);
+        let us = lat_mmap(&bed, 2);
+        assert!(us > 100.0, "mmap of {MMAP_PAGES} pages can't take {us} µs");
+    }
+}

@@ -1,0 +1,1107 @@
+//! The hypervisor proper: warm-up, activation, hypercalls and trap
+//! reflection.
+//!
+//! Xenon supports Mercury's pre-caching design (§4.1): `warm_up` builds
+//! every data structure the VMM needs — frame accounting table, gate
+//! table, reserved memory pool — at machine boot, leaving the VMM
+//! *dormant*.  Activation is then only a matter of flipping the active
+//! flag and reloading per-CPU hardware state, which is what makes the
+//! sub-millisecond mode switch possible.
+//!
+//! While dormant, every hypercall fails with [`HvError::NotActive`]; the
+//! kernel's native virtualization object never calls them.
+
+use crate::domain::{DomId, Domain, DOM0};
+use crate::error::HvError;
+use crate::events::EventChannels;
+use crate::grants::GrantTables;
+use crate::page_info::{PageInfoTable, PageType};
+use crate::sched::{SchedUnit, Scheduler};
+use parking_lot::{Mutex, RwLock};
+use simx86::cpu::{vectors, Gdt, IdtTable, InterruptSink, TrapFrame};
+use simx86::mem::FrameNum;
+use simx86::paging::Pte;
+use simx86::{costs, Cpu, Machine};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Frames the dormant VMM reserves for itself at warm-up (its text,
+/// heap, and per-domain structures).  512 frames = 2 MiB: "a VMM
+/// occupies only a reasonably small chunk of memory" (§4.1).
+pub const HV_RESERVED_FRAMES: usize = 512;
+
+/// One entry of an `mmu_update` batch: write `val` into slot `index` of
+/// the (validated) page table living in `table`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmuUpdate {
+    /// The page-table frame to update.
+    pub table: FrameNum,
+    /// Entry index.
+    pub index: usize,
+    /// New entry value.
+    pub val: Pte,
+}
+
+/// Running counters (diagnostics and the EXPERIMENTS.md report).
+#[derive(Debug, Default)]
+pub struct HvStats {
+    /// Total hypercalls served.
+    pub hypercalls: AtomicU64,
+    /// Total mmu_update entries validated.
+    pub mmu_entries: AtomicU64,
+    /// Traps reflected into guests.
+    pub reflections: AtomicU64,
+}
+
+/// The Xenon hypervisor.
+pub struct Hypervisor {
+    /// The machine this VMM controls when active.
+    pub machine: Arc<Machine>,
+    /// Frame accounting.
+    pub page_info: PageInfoTable,
+    /// Event channels.
+    pub events: EventChannels,
+    /// Grant tables.
+    pub grants: GrantTables,
+    /// vCPU scheduler.
+    pub sched: Scheduler,
+    /// Counters.
+    pub stats: HvStats,
+    domains: RwLock<BTreeMap<u16, Arc<Domain>>>,
+    active: AtomicBool,
+    next_domid: AtomicU16,
+    hv_idt: Arc<IdtTable>,
+    reserved: Mutex<Vec<FrameNum>>,
+    /// Which domain currently runs on each physical CPU (reflection
+    /// routing).
+    current: RwLock<Vec<Option<DomId>>>,
+}
+
+impl Hypervisor {
+    /// Build and warm up a dormant hypervisor on `machine`: reserve its
+    /// working memory from the top of RAM, build the frame-accounting
+    /// table and the VMM's own gate table.  Nothing touches the CPUs —
+    /// the machine continues running natively.
+    pub fn warm_up(machine: &Arc<Machine>) -> Arc<Hypervisor> {
+        let boot = machine.boot_cpu();
+        let reserved = machine
+            .allocator
+            .alloc_high(boot, HV_RESERVED_FRAMES)
+            .expect("machine too small for the VMM reservation");
+        let num_cpus = machine.num_cpus();
+        Arc::new_cyclic(|weak: &Weak<Hypervisor>| {
+            let mut idt = IdtTable::new("xenon");
+            let reflect: Arc<dyn InterruptSink> = Arc::new(ReflectSink { hv: weak.clone() });
+            for v in [
+                vectors::PAGE_FAULT,
+                vectors::GP_FAULT,
+                vectors::MACHINE_CHECK,
+                vectors::TIMER,
+                vectors::DISK,
+                vectors::NIC,
+                vectors::IPI_CALL,
+                vectors::SELF_VIRT_ATTACH,
+                vectors::SELF_VIRT_DETACH,
+                vectors::SELF_VIRT_RENDEZVOUS,
+                vectors::EVTCHN_UPCALL,
+            ] {
+                idt.set_gate(v, Arc::clone(&reflect));
+            }
+            Hypervisor {
+                machine: Arc::clone(machine),
+                page_info: PageInfoTable::new(machine.mem.num_frames()),
+                events: EventChannels::new(),
+                grants: GrantTables::new(),
+                sched: Scheduler::new(num_cpus),
+                stats: HvStats::default(),
+                domains: RwLock::new(BTreeMap::new()),
+                active: AtomicBool::new(false),
+                next_domid: AtomicU16::new(1),
+                hv_idt: Arc::new(idt),
+                reserved: Mutex::new(reserved),
+                current: RwLock::new(vec![None; num_cpus]),
+            }
+        })
+    }
+
+    // -- activation (Mercury attach/detach) -----------------------------
+
+    /// Is the VMM in control of the machine?
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Flip the VMM live.  Per-CPU hardware state is reloaded separately
+    /// via [`Hypervisor::install_on_cpu`] (Mercury does it inside the
+    /// switch interrupt handler, per §5.1.3).
+    pub fn activate(&self) {
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Return the VMM to dormancy.
+    pub fn deactivate(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+
+    /// Take over one CPU: install the VMM's gate table and the
+    /// de-privileging GDT.  Must run at PL0 (interrupt context of the
+    /// switch handler).
+    pub fn install_on_cpu(&self, cpu: &Arc<Cpu>) {
+        cpu.tick(costs::STATE_RELOAD);
+        cpu.set_idt_raw(Arc::clone(&self.hv_idt));
+        cpu.set_gdt_raw(Gdt::VIRTUALIZED);
+    }
+
+    /// Release one CPU back to a native kernel: restore the kernel's own
+    /// gate table and the native GDT.
+    pub fn remove_from_cpu(&self, cpu: &Arc<Cpu>, kernel_idt: Arc<IdtTable>) {
+        cpu.tick(costs::STATE_RELOAD);
+        cpu.set_idt_raw(kernel_idt);
+        cpu.set_gdt_raw(Gdt::NATIVE);
+    }
+
+    /// The VMM's gate table (tests, diagnostics).
+    pub fn idt(&self) -> Arc<IdtTable> {
+        Arc::clone(&self.hv_idt)
+    }
+
+    /// Frames reserved for the VMM itself.
+    pub fn reserved_frames(&self) -> usize {
+        self.reserved.lock().len()
+    }
+
+    /// Borrow `n` frames from the VMM's reserved pool (ring buffers,
+    /// bounce pages).
+    pub fn take_reserved(&self, n: usize) -> Result<Vec<FrameNum>, HvError> {
+        let mut r = self.reserved.lock();
+        if r.len() < n {
+            return Err(HvError::OutOfMemory);
+        }
+        let at = r.len() - n;
+        Ok(r.split_off(at))
+    }
+
+    /// Return frames to the reserved pool.
+    pub fn give_reserved(&self, frames: Vec<FrameNum>) {
+        self.reserved.lock().extend(frames);
+    }
+
+    fn check_active(&self) -> Result<(), HvError> {
+        if self.is_active() {
+            Ok(())
+        } else {
+            Err(HvError::NotActive)
+        }
+    }
+
+    fn count_hypercall(&self, cpu: &Cpu) {
+        cpu.tick(costs::HYPERCALL_BASE);
+        self.stats.hypercalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // -- domain lifecycle -------------------------------------------------
+
+    /// Create a domain owning `quota` frames, with vCPU 0 on `pcpu`.
+    /// `DOM0` must be created first and is the only privileged domain.
+    pub fn create_domain(
+        &self,
+        cpu: &Cpu,
+        name: &str,
+        quota: Vec<FrameNum>,
+        pcpu: usize,
+    ) -> Result<Arc<Domain>, HvError> {
+        let id = if self.domains.read().is_empty() {
+            DOM0
+        } else {
+            DomId(self.next_domid.fetch_add(1, Ordering::Relaxed))
+        };
+        let dom = Domain::new(id, name, id == DOM0, pcpu);
+        for f in &quota {
+            self.page_info.set_owner(*f, Some(id));
+            dom.add_frame(*f);
+        }
+        cpu.tick(costs::FRAME_ALLOC * quota.len() as u64 / 8);
+        self.domains.write().insert(id.0, Arc::clone(&dom));
+        self.sched.enqueue(pcpu, SchedUnit { dom: id, vcpu: 0 });
+        Ok(dom)
+    }
+
+    /// Destroy a domain: unpin its tables, clear accounting, and return
+    /// its frames (the caller decides whether they go back to the
+    /// machine allocator or to another domain).
+    pub fn destroy_domain(&self, cpu: &Cpu, dom: &Arc<Domain>) -> Result<Vec<FrameNum>, HvError> {
+        for pgd in dom.pgds() {
+            // Best effort: a half-built domain may not have pins.
+            let _ = self.page_info.unpin_l2(cpu, &self.machine.mem, pgd);
+            dom.remove_pgd(pgd);
+        }
+        self.page_info.clear_types_for(dom.id);
+        let frames = dom.frames();
+        for f in &frames {
+            self.page_info.set_owner(*f, None);
+            dom.remove_frame(*f);
+        }
+        dom.kill();
+        self.sched.remove_domain(dom.id);
+        self.domains.write().remove(&dom.id.0);
+        Ok(frames)
+    }
+
+    /// Pick a domain id for a restore/migration arrival: the preferred
+    /// (saved) id if free, otherwise a fresh one.  Prevents a migrated
+    /// domain-0 from clobbering the host's own domain-0 record.
+    pub fn allocate_domid(&self, preferred: DomId) -> DomId {
+        if !self.domains.read().contains_key(&preferred.0) {
+            return preferred;
+        }
+        DomId(self.next_domid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Look up a live domain.
+    pub fn domain(&self, id: DomId) -> Option<Arc<Domain>> {
+        self.domains.read().get(&id.0).cloned()
+    }
+
+    /// All live domains.
+    pub fn domains(&self) -> Vec<Arc<Domain>> {
+        self.domains.read().values().cloned().collect()
+    }
+
+    /// Adopt an externally-constructed domain record (migration
+    /// receive).  The id is preserved.
+    pub fn adopt_domain(&self, dom: Arc<Domain>) {
+        let id = dom.id;
+        let pcpu = dom.home_pcpu();
+        self.domains.write().insert(id.0, Arc::clone(&dom));
+        self.sched.enqueue(pcpu, SchedUnit { dom: id, vcpu: 0 });
+        let next = self.next_domid.load(Ordering::Relaxed).max(id.0 + 1);
+        self.next_domid.store(next, Ordering::Relaxed);
+    }
+
+    /// Record which domain runs on `pcpu` (context switch by the
+    /// scheduler/test bed); reflection routes through this.
+    pub fn set_current(&self, pcpu: usize, dom: Option<DomId>) {
+        self.current.write()[pcpu] = dom;
+    }
+
+    /// The domain currently on `pcpu`.
+    pub fn current(&self, pcpu: usize) -> Option<DomId> {
+        self.current.read()[pcpu]
+    }
+
+    // -- MMU hypercalls -----------------------------------------------------
+
+    /// `HYPERVISOR_mmu_update`: validate and commit a batch of
+    /// page-table writes for `dom`.
+    ///
+    /// Rules (direct paging, §3.2.2):
+    /// * the target table must already be validated (typed `L1`/`L2`);
+    ///   guests build *new* tables with ordinary writes and then pin;
+    /// * a leaf entry may only map a frame the domain owns;
+    /// * a writable leaf entry may not target a page-table frame;
+    /// * a directory entry may only reference a (possibly just-now
+    ///   validated) L1 table.
+    pub fn mmu_update(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        updates: &[MmuUpdate],
+    ) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        for u in updates {
+            cpu.tick(costs::MMU_UPDATE_PER_ENTRY);
+            self.stats.mmu_entries.fetch_add(1, Ordering::Relaxed);
+            let (typ, count) = self.page_info.type_of(u.table);
+            if count == 0 {
+                return Err(HvError::TypeConflict(
+                    "mmu_update on an unvalidated table (write it directly and pin)",
+                ));
+            }
+            if self.page_info.owner(u.table) != Some(dom.id) {
+                return Err(HvError::BadFrame {
+                    frame: u.table.0,
+                    why: "table not owned by caller",
+                });
+            }
+            match typ {
+                PageType::L1 => self.commit_l1_update(cpu, dom, u)?,
+                PageType::L2 => self.commit_l2_update(cpu, dom, u)?,
+                _ => {
+                    return Err(HvError::TypeConflict(
+                        "mmu_update target is not a page table",
+                    ))
+                }
+            }
+            self.page_info.mark_dirty(u.table);
+        }
+        Ok(())
+    }
+
+    fn commit_l1_update(&self, cpu: &Cpu, dom: &Arc<Domain>, u: &MmuUpdate) -> Result<(), HvError> {
+        let mem = &self.machine.mem;
+        let old = mem.read_pte(cpu, u.table, u.index)?;
+        // Take the new reference first so failure leaves state intact.
+        if u.val.present() {
+            let target = FrameNum(u.val.frame());
+            if self.page_info.owner(target) != Some(dom.id) {
+                return Err(HvError::BadFrame {
+                    frame: target.0,
+                    why: "leaf target not owned by caller",
+                });
+            }
+            if u.val.writable() {
+                self.page_info.get_type_ref(target, PageType::Writable)?;
+            }
+        }
+        if old.present() && old.writable() {
+            self.page_info
+                .put_type_ref(FrameNum(old.frame()), PageType::Writable);
+        }
+        mem.write_pte(cpu, u.table, u.index, u.val)?;
+        Ok(())
+    }
+
+    fn commit_l2_update(&self, cpu: &Cpu, dom: &Arc<Domain>, u: &MmuUpdate) -> Result<(), HvError> {
+        let mem = &self.machine.mem;
+        let old = mem.read_pte(cpu, u.table, u.index)?;
+        if u.val.present() {
+            let l1 = FrameNum(u.val.frame());
+            let (typ, count) = self.page_info.type_of(l1);
+            if typ != PageType::L1 || count == 0 {
+                // The ref taken at the end of validate_l1 is this
+                // entry's reference.
+                self.page_info
+                    .validate_l1(cpu, mem, l1, dom.id, costs::PT_PIN_PER_ENTRY)?;
+            } else {
+                self.page_info.get_type_ref(l1, PageType::L1)?;
+            }
+        }
+        if old.present() {
+            let l1 = FrameNum(old.frame());
+            self.page_info.put_type_ref(l1, PageType::L1);
+            let (typ, count) = self.page_info.type_of(l1);
+            if typ == PageType::None && count == 0 {
+                self.page_info.get_type_ref(l1, PageType::L1)?;
+                self.page_info.invalidate_l1(cpu, mem, l1)?;
+            }
+        }
+        mem.write_pte(cpu, u.table, u.index, u.val)?;
+        Ok(())
+    }
+
+    /// `MMUEXT_PIN_L2_TABLE`: validate and pin a base table.
+    pub fn pin_l2(&self, cpu: &Cpu, dom: &Arc<Domain>, pgd: FrameNum) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        self.page_info.pin_l2(cpu, &self.machine.mem, pgd, dom.id)?;
+        dom.add_pgd(pgd);
+        Ok(())
+    }
+
+    /// `MMUEXT_UNPIN_TABLE`.
+    pub fn unpin_l2(&self, cpu: &Cpu, dom: &Arc<Domain>, pgd: FrameNum) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        self.page_info.unpin_l2(cpu, &self.machine.mem, pgd)?;
+        dom.remove_pgd(pgd);
+        Ok(())
+    }
+
+    /// `MMUEXT_NEW_BASEPTR`: load a new page-directory base on `cpu`.
+    /// The table must be pinned (validated) and owned by the caller.
+    pub fn new_baseptr(
+        &self,
+        cpu: &Arc<Cpu>,
+        dom: &Arc<Domain>,
+        pgd: FrameNum,
+    ) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        let (typ, count) = self.page_info.type_of(pgd);
+        if typ != PageType::L2 || count == 0 {
+            return Err(HvError::TypeConflict("baseptr not a validated L2"));
+        }
+        if self.page_info.owner(pgd) != Some(dom.id) {
+            return Err(HvError::BadFrame {
+                frame: pgd.0,
+                why: "baseptr not owned by caller",
+            });
+        }
+        cpu.set_cr3_raw(pgd.0);
+        Ok(())
+    }
+
+    /// `MMUEXT_TLB_FLUSH_LOCAL`.
+    pub fn tlb_flush_local(&self, cpu: &Arc<Cpu>) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        cpu.flush_tlb_local();
+        Ok(())
+    }
+
+    /// `MMUEXT_TLB_FLUSH_ALL`: flush every CPU's TLB (the VMM performs
+    /// the shootdown on the guest's behalf).
+    pub fn tlb_flush_all(&self, cpu: &Arc<Cpu>) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        for c in &self.machine.cpus {
+            if c.id != cpu.id {
+                cpu.tick(costs::IPI_SEND);
+            }
+            c.flush_tlb_local();
+        }
+        Ok(())
+    }
+
+    /// `MMUEXT_INVLPG_LOCAL`.
+    pub fn invlpg(&self, cpu: &Arc<Cpu>, vpn: u64) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        cpu.invlpg(vpn);
+        Ok(())
+    }
+
+    // -- CPU / trap hypercalls ---------------------------------------------
+
+    /// `HYPERVISOR_set_trap_table`: register the guest's handlers.
+    pub fn set_trap_table(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        entries: Vec<(u8, Arc<dyn InterruptSink>)>,
+    ) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        for (vector, sink) in entries {
+            dom.set_trap_gate(vector, sink);
+        }
+        Ok(())
+    }
+
+    /// `HYPERVISOR_stack_switch`: record the guest kernel's stack for
+    /// the next user→kernel transition.
+    pub fn stack_switch(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        vcpu: usize,
+        sp: u64,
+    ) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        dom.set_kernel_sp(vcpu, sp)
+    }
+
+    /// `SCHEDOP_yield`.
+    pub fn sched_yield(&self, cpu: &Cpu, _dom: &Arc<Domain>) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        Ok(())
+    }
+
+    /// `SCHEDOP_block`: the vCPU sleeps until an event arrives.
+    pub fn sched_block(&self, cpu: &Cpu, dom: &Arc<Domain>, vcpu: usize) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        dom.set_runnable(vcpu, false);
+        Ok(())
+    }
+
+    /// `HYPERVISOR_console_io`.
+    pub fn console_io(&self, cpu: &Cpu, msg: &str) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        self.machine.console.write_line(msg);
+        Ok(())
+    }
+
+    // -- memory ballooning ---------------------------------------------------
+
+    /// `XENMEM_decrease_reservation`: the guest relinquishes frames
+    /// (its balloon driver inflates).  Frames must be owned by the
+    /// caller and untyped (no live page-table or writable references);
+    /// they move to the VMM's reserved pool.
+    pub fn balloon_out(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        frames: &[FrameNum],
+    ) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        // Validate everything first: partial balloons are confusing.
+        for &f in frames {
+            if self.page_info.owner(f) != Some(dom.id) {
+                return Err(HvError::BadFrame {
+                    frame: f.0,
+                    why: "ballooning a frame the domain does not own",
+                });
+            }
+            let (_, count) = self.page_info.type_of(f);
+            if count != 0 {
+                return Err(HvError::TypeConflict(
+                    "ballooning a frame with live references",
+                ));
+            }
+        }
+        for &f in frames {
+            cpu.tick(costs::FRAME_ALLOC / 2);
+            self.page_info.set_owner(f, None);
+            dom.remove_frame(f);
+        }
+        self.give_reserved(frames.to_vec());
+        Ok(())
+    }
+
+    /// `XENMEM_increase_reservation`: grant the domain `n` frames from
+    /// the VMM's pool (its balloon deflates).  Returns the frames, now
+    /// owned by the domain.
+    pub fn balloon_in(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        n: usize,
+    ) -> Result<Vec<FrameNum>, HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        let frames = self.take_reserved(n)?;
+        for &f in &frames {
+            cpu.tick(costs::FRAME_ALLOC / 2);
+            self.page_info.set_owner(f, Some(dom.id));
+            dom.add_frame(f);
+            // Scrub: the frame may carry another domain's stale data.
+            self.machine.mem.zero_frame(cpu, f)?;
+        }
+        Ok(frames)
+    }
+
+    // -- event channels / grants (thin wrappers charging the crossing) -----
+
+    /// `EVTCHNOP_alloc_unbound`.
+    pub fn evtchn_alloc(&self, cpu: &Cpu, dom: &Arc<Domain>) -> Result<u32, HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        self.events.alloc_unbound(dom.id)
+    }
+
+    /// `EVTCHNOP_bind_interdomain`.
+    pub fn evtchn_bind(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        peer: DomId,
+        peer_port: u32,
+    ) -> Result<u32, HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        self.events.bind_interdomain(dom.id, peer, peer_port)
+    }
+
+    /// `EVTCHNOP_send`.
+    pub fn evtchn_send(&self, cpu: &Cpu, dom: &Arc<Domain>, port: u32) -> Result<(), HvError> {
+        self.check_active()?;
+        self.count_hypercall(cpu);
+        self.events
+            .send(cpu, &self.machine.intc, dom, port, |id| self.domain(id))
+    }
+
+    /// `GNTTABOP_grant`.
+    pub fn grant(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        to: DomId,
+        frame: FrameNum,
+        readonly: bool,
+    ) -> Result<u32, HvError> {
+        self.check_active()?;
+        if !dom.owns(frame) {
+            return Err(HvError::BadFrame {
+                frame: frame.0,
+                why: "granting a frame the domain does not own",
+            });
+        }
+        Ok(self.grants.grant(cpu, dom.id, to, frame, readonly))
+    }
+
+    /// `GNTTABOP_map_grant_ref`.
+    pub fn grant_map(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        grantor: DomId,
+        gref: u32,
+    ) -> Result<(FrameNum, bool), HvError> {
+        self.check_active()?;
+        self.grants.map(cpu, dom.id, grantor, gref)
+    }
+
+    /// `GNTTABOP_unmap_grant_ref`.
+    pub fn grant_unmap(
+        &self,
+        cpu: &Cpu,
+        dom: &Arc<Domain>,
+        grantor: DomId,
+        gref: u32,
+    ) -> Result<(), HvError> {
+        self.check_active()?;
+        self.grants.unmap(cpu, dom.id, grantor, gref)
+    }
+
+    /// Revoke one of the caller's own grants.
+    pub fn grant_revoke(&self, cpu: &Cpu, dom: &Arc<Domain>, gref: u32) -> Result<(), HvError> {
+        self.check_active()?;
+        self.grants.revoke(cpu, dom.id, gref)
+    }
+}
+
+/// The VMM's gate-table sink: receives every trap while the VMM owns the
+/// hardware and reflects it into the guest's registered handler,
+/// charging the extra ring crossings (§3.2.1's cost of de-privileging).
+struct ReflectSink {
+    hv: Weak<Hypervisor>,
+}
+
+impl InterruptSink for ReflectSink {
+    fn handle(&self, cpu: &Arc<Cpu>, frame: &mut TrapFrame) {
+        let Some(hv) = self.hv.upgrade() else {
+            return;
+        };
+        cpu.tick(costs::TRAP_REFLECT_VIRT);
+        hv.stats.reflections.fetch_add(1, Ordering::Relaxed);
+
+        if frame.vector == vectors::EVTCHN_UPCALL {
+            // Deliver to every domain homed on this CPU with pending
+            // events.
+            for dom in hv.domains() {
+                if dom.home_pcpu() == cpu.id && dom.evt_pending.load(Ordering::Acquire) != 0 {
+                    if let Some(gate) = dom.trap_gate(vectors::EVTCHN_UPCALL) {
+                        gate.handle(cpu, frame);
+                    }
+                }
+            }
+            return;
+        }
+
+        // Everything else goes to the domain currently on this CPU.
+        let Some(dom) = hv.current(cpu.id).and_then(|id| hv.domain(id)) else {
+            return;
+        };
+        if let Some(gate) = dom.trap_gate(frame.vector) {
+            gate.handle(cpu, frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::MachineConfig;
+
+    fn small_machine() -> Arc<Machine> {
+        Machine::new(MachineConfig {
+            num_cpus: 1,
+            mem_frames: 2048,
+            disk_sectors: 64,
+        })
+    }
+
+    fn quota(machine: &Arc<Machine>, n: usize) -> Vec<FrameNum> {
+        machine.allocator.alloc_many(machine.boot_cpu(), n).unwrap()
+    }
+
+    #[test]
+    fn warm_up_reserves_top_memory_and_stays_dormant() {
+        let machine = small_machine();
+        let free_before = machine.allocator.available();
+        let hv = Hypervisor::warm_up(&machine);
+        assert!(!hv.is_active());
+        assert_eq!(hv.reserved_frames(), HV_RESERVED_FRAMES);
+        assert_eq!(
+            machine.allocator.available(),
+            free_before - HV_RESERVED_FRAMES
+        );
+    }
+
+    #[test]
+    fn hypercalls_fail_while_dormant() {
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        let cpu = machine.boot_cpu();
+        let dom = hv
+            .create_domain(cpu, "dom0", quota(&machine, 16), 0)
+            .unwrap();
+        assert!(matches!(
+            hv.mmu_update(cpu, &dom, &[]),
+            Err(HvError::NotActive)
+        ));
+        assert!(matches!(hv.sched_yield(cpu, &dom), Err(HvError::NotActive)));
+        hv.activate();
+        assert!(hv.mmu_update(cpu, &dom, &[]).is_ok());
+    }
+
+    #[test]
+    fn dom0_is_first_and_privileged() {
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        let cpu = machine.boot_cpu();
+        let d0 = hv
+            .create_domain(cpu, "dom0", quota(&machine, 4), 0)
+            .unwrap();
+        let d1 = hv
+            .create_domain(cpu, "domU", quota(&machine, 4), 0)
+            .unwrap();
+        assert_eq!(d0.id, DOM0);
+        assert!(d0.privileged);
+        assert_eq!(d1.id, DomId(1));
+        assert!(!d1.privileged);
+        assert!(hv.domain(DOM0).is_some());
+        assert_eq!(hv.domains().len(), 2);
+    }
+
+    /// Build a pinned base table: PGD → one L1 → one writable data page.
+    fn pinned_as(
+        hv: &Arc<Hypervisor>,
+        cpu: &Arc<Cpu>,
+        dom: &Arc<Domain>,
+    ) -> (FrameNum, FrameNum, FrameNum) {
+        let frames = dom.frames();
+        let (pgd, l1, data) = (frames[0], frames[1], frames[2]);
+        let mem = &hv.machine.mem;
+        mem.write_pte(cpu, pgd, 0, Pte::new(l1.0, Pte::WRITABLE | Pte::USER))
+            .unwrap();
+        mem.write_pte(cpu, l1, 0, Pte::new(data.0, Pte::WRITABLE | Pte::USER))
+            .unwrap();
+        hv.pin_l2(cpu, dom, pgd).unwrap();
+        (pgd, l1, data)
+    }
+
+    #[test]
+    fn mmu_update_validates_and_commits() {
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        let cpu = machine.boot_cpu();
+        let dom = hv
+            .create_domain(cpu, "dom0", quota(&machine, 8), 0)
+            .unwrap();
+        let (_pgd, l1, _data) = pinned_as(&hv, cpu, &dom);
+        let new_target = dom.frames()[3];
+
+        // Remap slot 0 to another owned frame.
+        hv.mmu_update(
+            cpu,
+            &dom,
+            &[MmuUpdate {
+                table: l1,
+                index: 0,
+                val: Pte::new(new_target.0, Pte::WRITABLE | Pte::USER),
+            }],
+        )
+        .unwrap();
+        assert_eq!(hv.page_info.type_of(new_target), (PageType::Writable, 1));
+        // The old target's writable ref was dropped.
+        assert_eq!(hv.page_info.type_of(dom.frames()[2]), (PageType::None, 0));
+    }
+
+    #[test]
+    fn mmu_update_rejects_mapping_page_table_writable() {
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        let cpu = machine.boot_cpu();
+        let dom = hv
+            .create_domain(cpu, "dom0", quota(&machine, 8), 0)
+            .unwrap();
+        let (_pgd, l1, _) = pinned_as(&hv, cpu, &dom);
+        let err = hv
+            .mmu_update(
+                cpu,
+                &dom,
+                &[MmuUpdate {
+                    table: l1,
+                    index: 1,
+                    val: Pte::new(l1.0, Pte::WRITABLE),
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::TypeConflict(_)));
+    }
+
+    #[test]
+    fn mmu_update_rejects_foreign_frames_and_unvalidated_tables() {
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        let cpu = machine.boot_cpu();
+        let d0 = hv
+            .create_domain(cpu, "dom0", quota(&machine, 8), 0)
+            .unwrap();
+        let d1 = hv
+            .create_domain(cpu, "domU", quota(&machine, 8), 0)
+            .unwrap();
+        let (_pgd, l1, _) = pinned_as(&hv, cpu, &d0);
+
+        // Mapping a frame owned by d1 into d0's table: rejected.
+        let foreign = d1.frames()[0];
+        assert!(matches!(
+            hv.mmu_update(
+                cpu,
+                &d0,
+                &[MmuUpdate {
+                    table: l1,
+                    index: 2,
+                    val: Pte::new(foreign.0, Pte::WRITABLE),
+                }]
+            ),
+            Err(HvError::BadFrame { .. })
+        ));
+
+        // Updating an unvalidated table: rejected.
+        let plain = d0.frames()[5];
+        assert!(matches!(
+            hv.mmu_update(
+                cpu,
+                &d0,
+                &[MmuUpdate {
+                    table: plain,
+                    index: 0,
+                    val: Pte::ABSENT,
+                }]
+            ),
+            Err(HvError::TypeConflict(_))
+        ));
+    }
+
+    #[test]
+    fn new_baseptr_requires_pinned_l2() {
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        let cpu = machine.boot_cpu();
+        let dom = hv
+            .create_domain(cpu, "dom0", quota(&machine, 8), 0)
+            .unwrap();
+        let plain = dom.frames()[5];
+        assert!(hv.new_baseptr(cpu, &dom, plain).is_err());
+        let (pgd, _, _) = pinned_as(&hv, cpu, &dom);
+        hv.new_baseptr(cpu, &dom, pgd).unwrap();
+        assert_eq!(cpu.read_cr3().unwrap(), pgd.0);
+    }
+
+    #[test]
+    fn destroy_domain_releases_everything() {
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        let cpu = machine.boot_cpu();
+        let dom = hv
+            .create_domain(cpu, "dom0", quota(&machine, 8), 0)
+            .unwrap();
+        let (pgd, l1, data) = pinned_as(&hv, cpu, &dom);
+        let frames = hv.destroy_domain(cpu, &dom).unwrap();
+        assert_eq!(frames.len(), 8);
+        assert!(!dom.is_alive());
+        for f in [pgd, l1, data] {
+            assert_eq!(hv.page_info.type_of(f), (PageType::None, 0));
+            assert_eq!(hv.page_info.owner(f), None);
+        }
+        assert!(hv.domain(DOM0).is_none());
+    }
+
+    #[test]
+    fn reflection_reaches_registered_guest_handler() {
+        use std::sync::atomic::AtomicUsize;
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        let cpu = machine.boot_cpu();
+        let dom = hv
+            .create_domain(cpu, "dom0", quota(&machine, 4), 0)
+            .unwrap();
+
+        struct Count(AtomicUsize);
+        impl InterruptSink for Count {
+            fn handle(&self, _c: &Arc<Cpu>, _f: &mut TrapFrame) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let counter = Arc::new(Count(AtomicUsize::new(0)));
+        hv.set_trap_table(cpu, &dom, vec![(vectors::TIMER, counter.clone())])
+            .unwrap();
+        hv.set_current(0, Some(dom.id));
+        hv.install_on_cpu(cpu);
+        cpu.set_pl_raw(simx86::PrivLevel::Pl0);
+        cpu.sti().unwrap();
+        cpu.set_pl_raw(simx86::PrivLevel::Pl1);
+
+        cpu.raise(vectors::TIMER);
+        cpu.service_pending();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        assert_eq!(hv.stats.reflections.load(Ordering::Relaxed), 1);
+        // Guest resumed at its de-privileged level.
+        assert_eq!(cpu.pl(), simx86::PrivLevel::Pl1);
+    }
+
+    #[test]
+    fn grant_requires_ownership() {
+        let machine = small_machine();
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        let cpu = machine.boot_cpu();
+        let d0 = hv
+            .create_domain(cpu, "dom0", quota(&machine, 4), 0)
+            .unwrap();
+        let d1 = hv
+            .create_domain(cpu, "domU", quota(&machine, 4), 0)
+            .unwrap();
+        let mine = d1.frames()[0];
+        let gref = hv.grant(cpu, &d1, DOM0, mine, false).unwrap();
+        let (f, _) = hv.grant_map(cpu, &d0, d1.id, gref).unwrap();
+        assert_eq!(f, mine);
+        // d1 cannot grant d0's frame.
+        let theirs = d0.frames()[0];
+        assert!(hv.grant(cpu, &d1, DOM0, theirs, false).is_err());
+    }
+}
+
+#[cfg(test)]
+mod wrapper_tests {
+    use super::*;
+    use simx86::MachineConfig;
+
+    fn rig() -> (Arc<Machine>, Arc<Hypervisor>, Arc<Domain>, Arc<Domain>) {
+        let machine = Machine::new(MachineConfig {
+            num_cpus: 1,
+            mem_frames: 2048,
+            disk_sectors: 64,
+        });
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        let cpu = machine.boot_cpu();
+        let q0 = machine.allocator.alloc_many(cpu, 8).unwrap();
+        let d0 = hv.create_domain(cpu, "dom0", q0, 0).unwrap();
+        let q1 = machine.allocator.alloc_many(cpu, 8).unwrap();
+        let d1 = hv.create_domain(cpu, "domU", q1, 0).unwrap();
+        (machine, hv, d0, d1)
+    }
+
+    #[test]
+    fn evtchn_hypercall_wrappers_roundtrip() {
+        let (machine, hv, d0, d1) = rig();
+        let cpu = machine.boot_cpu();
+        let p1 = hv.evtchn_alloc(cpu, &d1).unwrap();
+        let p0 = hv.evtchn_bind(cpu, &d0, d1.id, p1).unwrap();
+        hv.evtchn_send(cpu, &d0, p0).unwrap();
+        assert_eq!(crate::events::take_pending(&d1), 1u64 << p1);
+        // And the reverse direction through the peer port.
+        hv.evtchn_send(cpu, &d1, p1).unwrap();
+        assert_eq!(crate::events::take_pending(&d0), 1u64 << p0);
+    }
+
+    #[test]
+    fn stack_switch_and_sched_ops() {
+        let (machine, hv, d0, _d1) = rig();
+        let cpu = machine.boot_cpu();
+        hv.stack_switch(cpu, &d0, 0, 0xcafe_0000).unwrap();
+        assert_eq!(d0.vcpus()[0].kernel_sp, 0xcafe_0000);
+        assert!(hv.stack_switch(cpu, &d0, 7, 0).is_err(), "bad vcpu index");
+
+        hv.sched_block(cpu, &d0, 0).unwrap();
+        assert!(!d0.any_runnable());
+        // An event wakes the blocked vCPU.
+        let (machine2, hv2, a, b) = rig();
+        let cpu2 = machine2.boot_cpu();
+        let pb = hv2.evtchn_alloc(cpu2, &b).unwrap();
+        let pa = hv2.evtchn_bind(cpu2, &a, b.id, pb).unwrap();
+        hv2.sched_block(cpu2, &b, 0).unwrap();
+        assert!(!b.any_runnable());
+        hv2.evtchn_send(cpu2, &a, pa).unwrap();
+        assert!(b.any_runnable(), "event must wake the blocked vCPU");
+        hv.sched_yield(cpu, &d0).unwrap();
+    }
+
+    #[test]
+    fn console_io_reaches_the_console() {
+        let (machine, hv, _d0, _d1) = rig();
+        let cpu = machine.boot_cpu();
+        hv.console_io(cpu, "from the guest").unwrap();
+        assert!(machine.console.contains("from the guest"));
+    }
+
+    #[test]
+    fn tlb_hypercalls_charge_and_flush() {
+        let (machine, hv, _d0, _d1) = rig();
+        let cpu = machine.boot_cpu();
+        let before = cpu.cycles();
+        hv.tlb_flush_local(cpu).unwrap();
+        hv.invlpg(cpu, 0x123).unwrap();
+        assert!(cpu.cycles() - before >= 2 * costs::HYPERCALL_BASE);
+    }
+
+    #[test]
+    fn reserved_pool_take_and_give() {
+        let (_machine, hv, _d0, _d1) = rig();
+        let n0 = hv.reserved_frames();
+        let taken = hv.take_reserved(4).unwrap();
+        assert_eq!(hv.reserved_frames(), n0 - 4);
+        hv.give_reserved(taken);
+        assert_eq!(hv.reserved_frames(), n0);
+        assert!(hv.take_reserved(100_000).is_err());
+    }
+
+    #[test]
+    fn ballooning_moves_frames_between_domain_and_vmm() {
+        let (machine, hv, d0, d1) = rig();
+        let cpu = machine.boot_cpu();
+        let reserved0 = hv.reserved_frames();
+        let give = vec![d0.frames()[5], d0.frames()[6]];
+
+        hv.balloon_out(cpu, &d0, &give).unwrap();
+        assert_eq!(d0.frame_count(), 6);
+        assert_eq!(hv.reserved_frames(), reserved0 + 2);
+        assert_eq!(hv.page_info.owner(give[0]), None);
+
+        // The other domain can receive them — scrubbed.
+        machine
+            .mem
+            .write_word(cpu, give[0].base(), 0xdead)
+            .unwrap();
+        let got = hv.balloon_in(cpu, &d1, 2).unwrap();
+        assert_eq!(d1.frame_count(), 10);
+        for f in &got {
+            assert_eq!(hv.page_info.owner(*f), Some(d1.id));
+            assert_eq!(machine.mem.read_word(cpu, f.base()).unwrap(), 0, "not scrubbed");
+        }
+    }
+
+    #[test]
+    fn ballooning_rejects_foreign_or_referenced_frames() {
+        let (machine, hv, d0, d1) = rig();
+        let cpu = machine.boot_cpu();
+        // Foreign frame.
+        assert!(matches!(
+            hv.balloon_out(cpu, &d0, &[d1.frames()[0]]),
+            Err(HvError::BadFrame { .. })
+        ));
+        // Frame with a live type reference.
+        let f = d0.frames()[3];
+        hv.page_info.get_type_ref(f, PageType::Writable).unwrap();
+        assert!(matches!(
+            hv.balloon_out(cpu, &d0, &[f]),
+            Err(HvError::TypeConflict(_))
+        ));
+        // Nothing moved on failure.
+        assert_eq!(d0.frame_count(), 8);
+    }
+
+    #[test]
+    fn adopted_domain_ids_do_not_collide() {
+        let (_machine, hv, d0, _d1) = rig();
+        // A migrated-in domain claiming an occupied id gets a fresh one.
+        assert_ne!(hv.allocate_domid(d0.id), d0.id);
+        assert_eq!(hv.allocate_domid(DomId(77)), DomId(77));
+    }
+}

@@ -1,0 +1,474 @@
+//! Live migration with iterative pre-copy — the mechanism behind online
+//! hardware maintenance (§6.3) and HPC failover (§6.5).
+//!
+//! Rounds of [`LiveMigration::round`] ship the frames dirtied since the
+//! previous round while the guest keeps running; [`LiveMigration::finalize`]
+//! pauses the guest, ships the final dirty set plus vCPU/guest state, and
+//! materializes the domain on the target hypervisor.  Dirty tracking
+//! uses the hardware dirty bits in the guest's own page tables (scanned
+//! and cleared each round, with a TLB flush so subsequent writes re-walk)
+//! plus the hypervisor's log-dirty bits for table frames — the log-dirty
+//! scheme of Clark et al.'s live migration, adapted to direct paging.
+
+use crate::domain::Domain;
+use crate::error::HvError;
+use crate::hv::Hypervisor;
+use crate::save::{restore_domain_mapped, save_domain, DomainImage, FrameImage};
+use simx86::mem::FrameNum;
+use simx86::paging::{Pte, ENTRIES_PER_TABLE};
+use simx86::{costs, Cpu};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Statistics for one pre-copy round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Round number (0 = full copy).
+    pub round: usize,
+    /// Frames shipped this round.
+    pub frames_sent: usize,
+    /// Cycles charged to the source CPU for the transfer.
+    pub cycles: u64,
+}
+
+/// Final report for a completed migration.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Old→new frame relocation (for the guest kernel's thaw).
+    pub frame_map: HashMap<u32, u32>,
+    /// Per-round statistics (pre-copy rounds, then the stop-and-copy
+    /// round last).
+    pub rounds: Vec<RoundStats>,
+    /// Total frames shipped, counting resends.
+    pub total_frames: usize,
+    /// Guest-observed downtime in cycles (the stop-and-copy phase).
+    pub downtime_cycles: u64,
+    /// Total bytes on the wire.
+    pub wire_bytes: u64,
+}
+
+impl MigrationReport {
+    /// Downtime in microseconds of simulated time.
+    pub fn downtime_us(&self) -> f64 {
+        costs::cycles_to_us(self.downtime_cycles)
+    }
+}
+
+/// An in-progress live migration of one domain.
+pub struct LiveMigration {
+    source: Arc<Hypervisor>,
+    dom: Arc<Domain>,
+    /// Frames staged at the "target side", keyed by source frame number.
+    staged: HashMap<u32, FrameImage>,
+    rounds: Vec<RoundStats>,
+    round_no: usize,
+    started: bool,
+}
+
+impl LiveMigration {
+    /// Begin migrating `dom` away from `source`.
+    pub fn new(source: Arc<Hypervisor>, dom: Arc<Domain>) -> LiveMigration {
+        LiveMigration {
+            source,
+            dom,
+            staged: HashMap::new(),
+            rounds: Vec::new(),
+            round_no: 0,
+            started: false,
+        }
+    }
+
+    /// Frames the guest has dirtied since the last scan.  Clears the
+    /// dirty bits and flushes TLBs so future writes are caught again.
+    fn collect_dirty(&self, cpu: &Cpu) -> Result<Vec<FrameNum>, HvError> {
+        let mem = &self.source.machine.mem;
+        let mut dirty = Vec::new();
+        for pgd in self.dom.pgds() {
+            if self.source.page_info.take_dirty(pgd) {
+                dirty.push(pgd);
+            }
+            for l2_idx in 0..ENTRIES_PER_TABLE {
+                let pde = mem.read_pte(cpu, pgd, l2_idx)?;
+                if !pde.present() {
+                    continue;
+                }
+                let l1 = FrameNum(pde.frame());
+                if self.source.page_info.take_dirty(l1) {
+                    dirty.push(l1);
+                }
+                for l1_idx in 0..ENTRIES_PER_TABLE {
+                    let pte = mem.read_pte(cpu, l1, l1_idx)?;
+                    if pte.present() && pte.dirty() {
+                        dirty.push(FrameNum(pte.frame()));
+                        mem.write_pte(cpu, l1, l1_idx, pte.without_flags(Pte::DIRTY))?;
+                    }
+                }
+            }
+        }
+        // Clearing dirty bits behind the TLB's back requires a flush so
+        // cached "already dirty" translations don't swallow new writes.
+        for c in &self.source.machine.cpus {
+            c.flush_tlb_local();
+        }
+        dirty.sort_unstable_by_key(|f| f.0);
+        dirty.dedup();
+        Ok(dirty)
+    }
+
+    fn ship(&mut self, cpu: &Cpu, frames: &[FrameNum]) -> Result<u64, HvError> {
+        let mem = &self.source.machine.mem;
+        let mut cycles = 0;
+        for &f in frames {
+            let (typ, _) = self.source.page_info.type_of(f);
+            let words = mem.export_frame(f)?;
+            let cost = costs::NIC_PACKET_BASE + simx86::PAGE_SIZE * costs::NIC_PER_BYTE;
+            cpu.tick(cost);
+            cycles += cost;
+            self.staged.insert(
+                f.0,
+                FrameImage {
+                    old_frame: f.0,
+                    typ,
+                    words,
+                },
+            );
+        }
+        Ok(cycles)
+    }
+
+    /// Run one pre-copy round: round 0 ships every owned frame;
+    /// subsequent rounds ship only the dirty set.  The guest keeps
+    /// running between rounds.
+    pub fn round(&mut self, cpu: &Cpu) -> Result<RoundStats, HvError> {
+        let frames = if !self.started {
+            self.started = true;
+            // Prime dirty tracking: clear current bits so round 1 sees
+            // only subsequent writes.
+            let _ = self.collect_dirty(cpu)?;
+            self.dom.frames()
+        } else {
+            self.collect_dirty(cpu)?
+        };
+        let cycles = self.ship(cpu, &frames)?;
+        let stats = RoundStats {
+            round: self.round_no,
+            frames_sent: frames.len(),
+            cycles,
+        };
+        self.rounds.push(stats);
+        self.round_no += 1;
+        Ok(stats)
+    }
+
+    /// Dirty frames that would be shipped if a round ran now (peek; used
+    /// by the convergence heuristic).
+    pub fn dirty_backlog(&self, cpu: &Cpu) -> Result<usize, HvError> {
+        // A peek that doesn't clear: scan without clearing PTE bits.
+        let mem = &self.source.machine.mem;
+        let mut n = 0;
+        for pgd in self.dom.pgds() {
+            for l2_idx in 0..ENTRIES_PER_TABLE {
+                let pde = mem.read_pte(cpu, pgd, l2_idx)?;
+                if !pde.present() {
+                    continue;
+                }
+                let l1 = FrameNum(pde.frame());
+                for l1_idx in 0..ENTRIES_PER_TABLE {
+                    let pte = mem.read_pte(cpu, l1, l1_idx)?;
+                    if pte.present() && pte.dirty() {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Stop-and-copy: pause the guest, ship the last dirty set and the
+    /// control state, materialize the domain on `target`, and destroy it
+    /// at the source.  Returns the new domain and the report.
+    ///
+    /// The caller re-wires devices afterwards (§5.2: network frontends
+    /// reconnect to the new backend *after* migration completes).
+    pub fn finalize(
+        mut self,
+        cpu: &Cpu,
+        target: &Arc<Hypervisor>,
+        target_pcpu: usize,
+    ) -> Result<(Arc<Domain>, MigrationReport), HvError> {
+        if !self.started {
+            self.round(cpu)?;
+        }
+        let downtime_start = cpu.cycles();
+
+        // Pause: deschedule everywhere.
+        for v in 0..self.dom.num_vcpus() {
+            self.dom.set_runnable(v, false);
+        }
+        self.source.sched.remove_domain(self.dom.id);
+
+        // Final dirty round.
+        let dirty = self.collect_dirty(cpu)?;
+        let cycles = self.ship(cpu, &dirty)?;
+        self.rounds.push(RoundStats {
+            round: self.round_no,
+            frames_sent: dirty.len(),
+            cycles,
+        });
+
+        // Ship the control-plane image (vCPUs, pgds, guest state).
+        let control = save_domain(&self.source, cpu, &self.dom)?;
+
+        // Assemble the full image from the staged frames, in the
+        // domain's frame order.
+        let frames: Result<Vec<FrameImage>, HvError> = self
+            .dom
+            .frames()
+            .iter()
+            .map(|f| {
+                self.staged
+                    .get(&f.0)
+                    .cloned()
+                    .ok_or_else(|| HvError::BadImage(format!("frame {} never shipped", f.0)))
+            })
+            .collect();
+        let image = DomainImage {
+            frames: frames?,
+            ..control
+        };
+
+        // Target side: allocate frames and restore.
+        let target_cpu = target.machine.boot_cpu();
+        let new_frames = target
+            .machine
+            .allocator
+            .alloc_many(target_cpu, image.frames.len())
+            .ok_or(HvError::OutOfMemory)?;
+        let (new_dom, frame_map) =
+            restore_domain_mapped(target, target_cpu, &image, &new_frames, target_pcpu)?;
+        for v in 0..new_dom.num_vcpus() {
+            new_dom.set_runnable(v, true);
+        }
+
+        // Tear down at the source.
+        let freed = self.source.destroy_domain(cpu, &self.dom)?;
+        for f in freed {
+            self.source.machine.allocator.free(f);
+        }
+
+        let downtime_cycles = cpu.cycles() - downtime_start;
+        let total_frames: usize = self.rounds.iter().map(|r| r.frames_sent).sum();
+        let report = MigrationReport {
+            frame_map,
+            total_frames,
+            downtime_cycles,
+            wire_bytes: total_frames as u64 * simx86::PAGE_SIZE,
+            rounds: self.rounds,
+        };
+        Ok((new_dom, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::mem::PhysAddr;
+    use simx86::{Machine, MachineConfig};
+
+    pub(super) fn node() -> (Arc<Machine>, Arc<Hypervisor>) {
+        let machine = Machine::new(MachineConfig {
+            num_cpus: 1,
+            mem_frames: 2048,
+            disk_sectors: 64,
+        });
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        (machine, hv)
+    }
+
+    pub(super) fn build_guest(machine: &Arc<Machine>, hv: &Arc<Hypervisor>) -> Arc<Domain> {
+        let cpu = machine.boot_cpu();
+        let q = machine.allocator.alloc_many(cpu, 16).unwrap();
+        let dom = hv.create_domain(cpu, "guest", q, 0).unwrap();
+        let f = dom.frames();
+        let mem = &machine.mem;
+        // pgd = f[0], l1 = f[1], data pages f[2..6] mapped writable.
+        mem.write_pte(cpu, f[0], 0, Pte::new(f[1].0, Pte::WRITABLE | Pte::USER))
+            .unwrap();
+        for i in 0..4 {
+            mem.write_pte(
+                cpu,
+                f[1],
+                i,
+                Pte::new(f[2 + i].0, Pte::WRITABLE | Pte::USER),
+            )
+            .unwrap();
+            mem.write_word(cpu, f[2 + i].base(), 100 + i as u64)
+                .unwrap();
+        }
+        hv.pin_l2(cpu, &dom, f[0]).unwrap();
+        *dom.guest_state.lock() = Some(serde_json::json!({"app": "token"}));
+        dom
+    }
+
+    /// Simulate guest activity: write through the MMU so dirty bits set.
+    fn guest_writes(machine: &Arc<Machine>, dom: &Arc<Domain>, page: usize, val: u64) {
+        let cpu = machine.boot_cpu();
+        let f = dom.frames();
+        let l1 = f[1];
+        // Hardware-style: set dirty via a direct PTE update + write.
+        let pte = machine.mem.read_pte(cpu, l1, page).unwrap();
+        machine
+            .mem
+            .write_pte(cpu, l1, page, pte.with_flags(Pte::DIRTY | Pte::ACCESSED))
+            .unwrap();
+        machine
+            .mem
+            .write_word(cpu, PhysAddr(FrameNum(pte.frame()).base().0), val)
+            .unwrap();
+    }
+
+    #[test]
+    fn full_migration_moves_memory_and_state() {
+        let (m_src, hv_src) = node();
+        let (m_dst, hv_dst) = node();
+        let cpu = m_src.boot_cpu();
+        let dom = build_guest(&m_src, &hv_src);
+        let src_frames_before = m_src.allocator.available();
+
+        let mut mig = LiveMigration::new(Arc::clone(&hv_src), Arc::clone(&dom));
+        let r0 = mig.round(cpu).unwrap();
+        assert_eq!(r0.frames_sent, 16);
+
+        // Guest dirties two pages between rounds.
+        guest_writes(&m_src, &dom, 1, 999);
+        guest_writes(&m_src, &dom, 3, 888);
+        let r1 = mig.round(cpu).unwrap();
+        assert!(
+            r1.frames_sent >= 2 && r1.frames_sent < 16,
+            "round1 sent {}",
+            r1.frames_sent
+        );
+
+        let (new_dom, report) = mig.finalize(cpu, &hv_dst, 0).unwrap();
+        assert_eq!(report.rounds.len(), 3);
+        assert!(report.downtime_cycles > 0);
+
+        // The data written mid-migration arrived.
+        let dst_cpu = m_dst.boot_cpu();
+        let pgd = new_dom.pgds()[0];
+        let pde = m_dst.mem.read_pte(dst_cpu, pgd, 0).unwrap();
+        let pte1 = m_dst
+            .mem
+            .read_pte(dst_cpu, FrameNum(pde.frame()), 1)
+            .unwrap();
+        assert_eq!(
+            m_dst
+                .mem
+                .read_word(dst_cpu, FrameNum(pte1.frame()).base())
+                .unwrap(),
+            999
+        );
+        assert_eq!(new_dom.guest_state.lock().clone().unwrap()["app"], "token");
+
+        // Source fully released its memory.
+        assert!(hv_src.domain(dom.id).is_none());
+        assert_eq!(m_src.allocator.available(), src_frames_before + 16);
+    }
+
+    #[test]
+    fn quiet_guest_converges_to_empty_rounds() {
+        let (m_src, hv_src) = node();
+        let cpu = m_src.boot_cpu();
+        let dom = build_guest(&m_src, &hv_src);
+        let mut mig = LiveMigration::new(Arc::clone(&hv_src), Arc::clone(&dom));
+        mig.round(cpu).unwrap();
+        let r1 = mig.round(cpu).unwrap();
+        assert_eq!(r1.frames_sent, 0);
+        assert_eq!(mig.dirty_backlog(cpu).unwrap(), 0);
+    }
+
+    #[test]
+    fn busy_guest_keeps_rounds_nonempty() {
+        let (m_src, hv_src) = node();
+        let cpu = m_src.boot_cpu();
+        let dom = build_guest(&m_src, &hv_src);
+        let mut mig = LiveMigration::new(Arc::clone(&hv_src), Arc::clone(&dom));
+        mig.round(cpu).unwrap();
+        for i in 0..3 {
+            guest_writes(&m_src, &dom, i % 4, i as u64);
+            let r = mig.round(cpu).unwrap();
+            assert!(r.frames_sent >= 1);
+        }
+    }
+
+    #[test]
+    fn downtime_scales_with_final_dirty_set() {
+        let (m_src, hv_src) = node();
+        let (_, hv_dst_a) = node();
+        let (_, hv_dst_b) = node();
+        let cpu = m_src.boot_cpu();
+
+        // Migration A: converged before finalize.
+        let dom_a = build_guest(&m_src, &hv_src);
+        let mut mig = LiveMigration::new(Arc::clone(&hv_src), Arc::clone(&dom_a));
+        mig.round(cpu).unwrap();
+        let (_, rep_a) = mig.finalize(cpu, &hv_dst_a, 0).unwrap();
+
+        // Migration B: never pre-copied the dirty tail.
+        let dom_b = build_guest(&m_src, &hv_src);
+        let mut mig = LiveMigration::new(Arc::clone(&hv_src), Arc::clone(&dom_b));
+        mig.round(cpu).unwrap();
+        for i in 0..4 {
+            guest_writes(&m_src, &dom_b, i, 7);
+        }
+        let (_, rep_b) = mig.finalize(cpu, &hv_dst_b, 0).unwrap();
+
+        assert!(
+            rep_b.downtime_cycles > rep_a.downtime_cycles,
+            "dirtier stop-and-copy must cost more ({} vs {})",
+            rep_b.downtime_cycles,
+            rep_a.downtime_cycles
+        );
+    }
+}
+
+#[cfg(test)]
+mod abort_tests {
+    use super::tests::{build_guest, node};
+    use super::*;
+    use simx86::mem::PhysAddr;
+
+    #[test]
+    fn abandoned_migration_leaves_source_untouched() {
+        // A target-node failure mid-migration: the session is dropped
+        // after pre-copy rounds; the source domain must keep running
+        // with nothing leaked or paused.
+        let (m_src, hv_src) = node();
+        let cpu = m_src.boot_cpu();
+        let dom = build_guest(&m_src, &hv_src);
+        let frames_before = dom.frame_count();
+
+        {
+            let mut mig = LiveMigration::new(Arc::clone(&hv_src), Arc::clone(&dom));
+            mig.round(cpu).unwrap();
+            mig.round(cpu).unwrap();
+            // ... target dies; the migration object is dropped.
+        }
+
+        assert!(dom.is_alive());
+        assert!(dom.any_runnable(), "source vCPUs must not be left paused");
+        assert_eq!(dom.frame_count(), frames_before);
+        assert!(hv_src.domain(dom.id).is_some());
+        // Guest memory still writable and consistent.
+        let f = dom.frames();
+        m_src
+            .mem
+            .write_word(cpu, PhysAddr(f[2].base().0), 4242)
+            .unwrap();
+        assert_eq!(
+            m_src.mem.read_word(cpu, PhysAddr(f[2].base().0)).unwrap(),
+            4242
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! Shared-memory I/O rings — the transport of the split device model.
+//!
+//! A ring lives in one granted frame of simulated physical memory, laid
+//! out Xen-style: free-running producer/consumer indices in a header,
+//! followed by fixed-size slots shared between requests and responses.
+//! The frontend pushes requests and consumes responses; the backend does
+//! the reverse.  Because the indices and slots are *in simulated
+//! memory*, a migrated domain's ring state travels with its frames.
+//!
+//! Frame layout (u64 words):
+//! ```text
+//!   0: req_prod   1: req_cons   2: rsp_prod   3: rsp_cons
+//!   8..: 32 slots × 8 words
+//! ```
+
+use crate::error::HvError;
+use simx86::costs;
+use simx86::mem::{FrameNum, PhysAddr, PhysMemory};
+use simx86::Cpu;
+
+/// Slots per ring (power of two).
+pub const RING_SLOTS: u64 = 32;
+/// Words per slot.
+pub const SLOT_WORDS: usize = 8;
+const HDR_REQ_PROD: u64 = 0;
+const HDR_REQ_CONS: u64 = 1;
+const HDR_RSP_PROD: u64 = 2;
+const HDR_RSP_CONS: u64 = 3;
+const SLOT_BASE: u64 = 8;
+
+/// A wire-format message: one ring slot.
+pub type SlotPayload = [u64; SLOT_WORDS];
+
+/// A view over a ring living in `frame`.
+#[derive(Clone, Copy, Debug)]
+pub struct Ring {
+    frame: FrameNum,
+}
+
+impl Ring {
+    /// Attach to (or initialize a view over) the ring in `frame`.  The
+    /// creator must have zeroed the frame first.
+    pub fn attach(frame: FrameNum) -> Ring {
+        Ring { frame }
+    }
+
+    /// The backing frame.
+    pub fn frame(&self) -> FrameNum {
+        self.frame
+    }
+
+    fn hdr(&self, word: u64) -> PhysAddr {
+        PhysAddr(self.frame.base().0 + word * 8)
+    }
+
+    fn slot(&self, index: u64) -> PhysAddr {
+        let s = index % RING_SLOTS;
+        PhysAddr(self.frame.base().0 + (SLOT_BASE + s * SLOT_WORDS as u64) * 8)
+    }
+
+    fn read_idx(&self, cpu: &Cpu, mem: &PhysMemory, word: u64) -> Result<u64, HvError> {
+        Ok(mem.read_word(cpu, self.hdr(word))?)
+    }
+
+    fn write_idx(&self, cpu: &Cpu, mem: &PhysMemory, word: u64, v: u64) -> Result<(), HvError> {
+        mem.write_word(cpu, self.hdr(word), v)?;
+        Ok(())
+    }
+
+    fn read_slot(&self, cpu: &Cpu, mem: &PhysMemory, index: u64) -> Result<SlotPayload, HvError> {
+        let base = self.slot(index);
+        let mut out = [0u64; SLOT_WORDS];
+        for (i, w) in out.iter_mut().enumerate() {
+            *w = mem.read_word(cpu, PhysAddr(base.0 + i as u64 * 8))?;
+        }
+        Ok(out)
+    }
+
+    fn write_slot(
+        &self,
+        cpu: &Cpu,
+        mem: &PhysMemory,
+        index: u64,
+        payload: &SlotPayload,
+    ) -> Result<(), HvError> {
+        let base = self.slot(index);
+        for (i, w) in payload.iter().enumerate() {
+            mem.write_word(cpu, PhysAddr(base.0 + i as u64 * 8), *w)?;
+        }
+        Ok(())
+    }
+
+    /// Frontend: push a request.  Fails with `Busy` when the ring is
+    /// full (slots are shared with responses, so fullness is measured
+    /// against `rsp_cons`).
+    pub fn push_request(
+        &self,
+        cpu: &Cpu,
+        mem: &PhysMemory,
+        payload: &SlotPayload,
+    ) -> Result<(), HvError> {
+        cpu.tick(costs::RING_POST);
+        let prod = self.read_idx(cpu, mem, HDR_REQ_PROD)?;
+        let rsp_cons = self.read_idx(cpu, mem, HDR_RSP_CONS)?;
+        if prod - rsp_cons >= RING_SLOTS {
+            return Err(HvError::Busy("ring full"));
+        }
+        self.write_slot(cpu, mem, prod, payload)?;
+        self.write_idx(cpu, mem, HDR_REQ_PROD, prod + 1)
+    }
+
+    /// Backend: pop the next request, if any.
+    pub fn pop_request(&self, cpu: &Cpu, mem: &PhysMemory) -> Result<Option<SlotPayload>, HvError> {
+        let prod = self.read_idx(cpu, mem, HDR_REQ_PROD)?;
+        let cons = self.read_idx(cpu, mem, HDR_REQ_CONS)?;
+        if cons == prod {
+            return Ok(None);
+        }
+        let payload = self.read_slot(cpu, mem, cons)?;
+        self.write_idx(cpu, mem, HDR_REQ_CONS, cons + 1)?;
+        Ok(Some(payload))
+    }
+
+    /// Backend: push a response.
+    pub fn push_response(
+        &self,
+        cpu: &Cpu,
+        mem: &PhysMemory,
+        payload: &SlotPayload,
+    ) -> Result<(), HvError> {
+        cpu.tick(costs::RING_POST);
+        let prod = self.read_idx(cpu, mem, HDR_RSP_PROD)?;
+        let req_cons = self.read_idx(cpu, mem, HDR_REQ_CONS)?;
+        // A response may only occupy a slot whose request was consumed.
+        if prod >= req_cons {
+            return Err(HvError::Busy("response overruns unconsumed requests"));
+        }
+        self.write_slot(cpu, mem, prod, payload)?;
+        self.write_idx(cpu, mem, HDR_RSP_PROD, prod + 1)
+    }
+
+    /// Frontend: pop the next response, if any.
+    pub fn pop_response(
+        &self,
+        cpu: &Cpu,
+        mem: &PhysMemory,
+    ) -> Result<Option<SlotPayload>, HvError> {
+        let prod = self.read_idx(cpu, mem, HDR_RSP_PROD)?;
+        let cons = self.read_idx(cpu, mem, HDR_RSP_CONS)?;
+        if cons == prod {
+            return Ok(None);
+        }
+        let payload = self.read_slot(cpu, mem, cons)?;
+        self.write_idx(cpu, mem, HDR_RSP_CONS, cons + 1)?;
+        Ok(Some(payload))
+    }
+
+    /// Outstanding (pushed, not yet responded-and-reaped) requests.
+    pub fn in_flight(&self, cpu: &Cpu, mem: &PhysMemory) -> Result<u64, HvError> {
+        let prod = self.read_idx(cpu, mem, HDR_REQ_PROD)?;
+        let rsp_cons = self.read_idx(cpu, mem, HDR_RSP_CONS)?;
+        Ok(prod - rsp_cons)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed messages for the block and network channels
+// ---------------------------------------------------------------------------
+
+/// Block-device request operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlkOp {
+    /// Read sectors.
+    Read,
+    /// Write sectors.
+    Write,
+    /// Flush the write cache (barrier).
+    Flush,
+}
+
+/// A block-channel request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkRequest {
+    /// Frontend-chosen id echoed in the response.
+    pub id: u64,
+    /// Operation.
+    pub op: BlkOp,
+    /// First sector.
+    pub sector: u64,
+    /// Sector count.
+    pub count: u32,
+    /// Grant reference of the payload frame (grantor = frontend dom).
+    pub gref: u32,
+}
+
+impl BlkRequest {
+    /// Encode into a ring slot.
+    pub fn encode(&self) -> SlotPayload {
+        let op = match self.op {
+            BlkOp::Read => 0,
+            BlkOp::Write => 1,
+            BlkOp::Flush => 2,
+        };
+        [
+            self.id,
+            op,
+            self.sector,
+            self.count as u64,
+            self.gref as u64,
+            0,
+            0,
+            0,
+        ]
+    }
+
+    /// Decode from a ring slot.
+    pub fn decode(p: &SlotPayload) -> Result<BlkRequest, HvError> {
+        let op = match p[1] {
+            0 => BlkOp::Read,
+            1 => BlkOp::Write,
+            2 => BlkOp::Flush,
+            _ => return Err(HvError::BadImage("bad blk op".into())),
+        };
+        Ok(BlkRequest {
+            id: p[0],
+            op,
+            sector: p[2],
+            count: p[3] as u32,
+            gref: p[4] as u32,
+        })
+    }
+}
+
+/// A block-channel response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Success flag.
+    pub ok: bool,
+    /// Device service cost in cycles, charged to the reaper if the I/O
+    /// was synchronous.
+    pub cost: u64,
+}
+
+impl BlkResponse {
+    /// Encode into a ring slot.
+    pub fn encode(&self) -> SlotPayload {
+        [self.id, self.ok as u64, self.cost, 0, 0, 0, 0, 0]
+    }
+
+    /// Decode from a ring slot.
+    pub fn decode(p: &SlotPayload) -> BlkResponse {
+        BlkResponse {
+            id: p[0],
+            ok: p[1] != 0,
+            cost: p[2],
+        }
+    }
+}
+
+/// A network-channel message (both directions): a packet described by a
+/// granted frame and a length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetMessage {
+    /// Message id.
+    pub id: u64,
+    /// Payload length in bytes (fits one frame in this model).
+    pub len: u32,
+    /// Grant reference of the payload frame.
+    pub gref: u32,
+}
+
+impl NetMessage {
+    /// Encode into a ring slot.
+    pub fn encode(&self) -> SlotPayload {
+        [self.id, self.len as u64, self.gref as u64, 0, 0, 0, 0, 0]
+    }
+
+    /// Decode from a ring slot.
+    pub fn decode(p: &SlotPayload) -> NetMessage {
+        NetMessage {
+            id: p[0],
+            len: p[1] as u32,
+            gref: p[2] as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn rig() -> (Ring, PhysMemory, Arc<Cpu>) {
+        let mem = PhysMemory::new(4);
+        let cpu = Arc::new(Cpu::new(0));
+        (Ring::attach(FrameNum(1)), mem, cpu)
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let (ring, mem, cpu) = rig();
+        let req = BlkRequest {
+            id: 42,
+            op: BlkOp::Write,
+            sector: 100,
+            count: 8,
+            gref: 3,
+        };
+        ring.push_request(&cpu, &mem, &req.encode()).unwrap();
+        assert_eq!(ring.in_flight(&cpu, &mem).unwrap(), 1);
+
+        let got = BlkRequest::decode(&ring.pop_request(&cpu, &mem).unwrap().unwrap()).unwrap();
+        assert_eq!(got, req);
+        assert!(ring.pop_request(&cpu, &mem).unwrap().is_none());
+
+        let rsp = BlkResponse {
+            id: 42,
+            ok: true,
+            cost: 999,
+        };
+        ring.push_response(&cpu, &mem, &rsp.encode()).unwrap();
+        let got = BlkResponse::decode(&ring.pop_response(&cpu, &mem).unwrap().unwrap());
+        assert_eq!(got, rsp);
+        assert_eq!(ring.in_flight(&cpu, &mem).unwrap(), 0);
+    }
+
+    #[test]
+    fn ring_full_rejected() {
+        let (ring, mem, cpu) = rig();
+        let payload = [1u64; SLOT_WORDS];
+        for _ in 0..RING_SLOTS {
+            ring.push_request(&cpu, &mem, &payload).unwrap();
+        }
+        assert!(matches!(
+            ring.push_request(&cpu, &mem, &payload),
+            Err(HvError::Busy(_))
+        ));
+        // Consuming a request is not enough: the slot frees when the
+        // response is reaped.
+        ring.pop_request(&cpu, &mem).unwrap().unwrap();
+        assert!(ring.push_request(&cpu, &mem, &payload).is_err());
+        ring.push_response(&cpu, &mem, &[2u64; SLOT_WORDS]).unwrap();
+        ring.pop_response(&cpu, &mem).unwrap().unwrap();
+        ring.push_request(&cpu, &mem, &payload).unwrap();
+    }
+
+    #[test]
+    fn response_cannot_overrun_requests() {
+        let (ring, mem, cpu) = rig();
+        // No request consumed yet: response push must fail.
+        assert!(ring.push_response(&cpu, &mem, &[0u64; SLOT_WORDS]).is_err());
+    }
+
+    #[test]
+    fn many_messages_wrap_around() {
+        let (ring, mem, cpu) = rig();
+        for i in 0..(RING_SLOTS * 3) {
+            let req = BlkRequest {
+                id: i,
+                op: BlkOp::Read,
+                sector: i,
+                count: 1,
+                gref: 0,
+            };
+            ring.push_request(&cpu, &mem, &req.encode()).unwrap();
+            let got = BlkRequest::decode(&ring.pop_request(&cpu, &mem).unwrap().unwrap()).unwrap();
+            assert_eq!(got.id, i);
+            ring.push_response(
+                &cpu,
+                &mem,
+                &BlkResponse {
+                    id: i,
+                    ok: true,
+                    cost: 0,
+                }
+                .encode(),
+            )
+            .unwrap();
+            let rsp = BlkResponse::decode(&ring.pop_response(&cpu, &mem).unwrap().unwrap());
+            assert_eq!(rsp.id, i);
+        }
+    }
+
+    #[test]
+    fn net_message_roundtrip() {
+        let m = NetMessage {
+            id: 7,
+            len: 1500,
+            gref: 2,
+        };
+        assert_eq!(NetMessage::decode(&m.encode()), m);
+    }
+
+    #[test]
+    fn ring_state_lives_in_sim_memory() {
+        let (ring, mem, cpu) = rig();
+        ring.push_request(&cpu, &mem, &[9u64; SLOT_WORDS]).unwrap();
+        // Copy the frame elsewhere: a second view over the copy sees the
+        // same ring state (this is what makes rings migratable).
+        mem.copy_frame(&cpu, FrameNum(1), FrameNum(2)).unwrap();
+        let ring2 = Ring::attach(FrameNum(2));
+        let got = ring2.pop_request(&cpu, &mem).unwrap().unwrap();
+        assert_eq!(got, [9u64; SLOT_WORDS]);
+    }
+}

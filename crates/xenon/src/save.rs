@@ -1,0 +1,323 @@
+//! Domain save/restore: the engine behind checkpointing (§6.1).
+//!
+//! A [`DomainImage`] captures everything a domain is: its frames (with
+//! their page-table types), pinned base tables, vCPU state and the
+//! guest's serialized logical state.  Restore may place the domain in
+//! *different* physical frames — page-table words are rewritten through
+//! the old→new frame mapping, the same machine-frame renumbering a real
+//! Xen restore performs via the P2M table.
+
+use crate::domain::{DomId, Domain, VcpuState};
+use crate::error::HvError;
+use crate::hv::Hypervisor;
+use crate::page_info::PageType;
+use serde::{Deserialize, Serialize};
+use simx86::mem::FrameNum;
+use simx86::paging::{Pte, ENTRIES_PER_TABLE, WORDS_PER_PAGE};
+use simx86::{costs, Cpu};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One saved frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameImage {
+    /// The frame number the domain occupied at save time.
+    pub old_frame: u32,
+    /// Its page-table type at save time (drives PTE rewriting).
+    pub typ: PageType,
+    /// Raw contents.
+    pub words: Vec<u64>,
+}
+
+/// A complete domain checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainImage {
+    /// Domain id at save time (preserved across restore).
+    pub id: u16,
+    /// Name.
+    pub name: String,
+    /// Privilege flag.
+    pub privileged: bool,
+    /// All owned frames.
+    pub frames: Vec<FrameImage>,
+    /// Pinned base tables (old frame numbers).
+    pub pgds: Vec<u32>,
+    /// vCPU state.
+    pub vcpus: Vec<VcpuState>,
+    /// Vectors the guest had registered (the restored guest re-registers
+    /// its handlers; this list lets tests assert nothing was lost).
+    pub registered_vectors: Vec<u8>,
+    /// Serialized guest-kernel logical state.
+    pub guest_state: Option<serde_json::Value>,
+}
+
+impl DomainImage {
+    /// Total bytes this image represents on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        self.frames.len() as u64 * simx86::PAGE_SIZE
+            + self
+                .guest_state
+                .as_ref()
+                .map(|g| g.to_string().len() as u64)
+                .unwrap_or(0)
+    }
+
+    /// Serialize to a portable byte blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("image serialization cannot fail")
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DomainImage, HvError> {
+        serde_json::from_slice(bytes).map_err(|e| HvError::BadImage(e.to_string()))
+    }
+}
+
+/// Capture a domain.  The caller is responsible for having paused the
+/// guest (no vCPU running) — checkpointing a running guest tears frames.
+pub fn save_domain(hv: &Hypervisor, cpu: &Cpu, dom: &Arc<Domain>) -> Result<DomainImage, HvError> {
+    let mem = &hv.machine.mem;
+    let mut frames = Vec::with_capacity(dom.frame_count());
+    for f in dom.frames() {
+        cpu.tick(costs::FRAME_COPY);
+        let (typ, _) = hv.page_info.type_of(f);
+        frames.push(FrameImage {
+            old_frame: f.0,
+            typ,
+            words: mem.export_frame(f)?,
+        });
+    }
+    Ok(DomainImage {
+        id: dom.id.0,
+        name: dom.name.clone(),
+        privileged: dom.privileged,
+        frames,
+        pgds: dom.pgds().iter().map(|p| p.0).collect(),
+        vcpus: dom.vcpus(),
+        registered_vectors: dom.registered_vectors(),
+        guest_state: dom.guest_state.lock().clone(),
+    })
+}
+
+/// Rewrite the present entries of a saved page-table frame through the
+/// old→new frame mapping.
+fn rewrite_table(words: &mut [u64], map: &HashMap<u32, u32>) -> Result<(), HvError> {
+    for w in words.iter_mut().take(ENTRIES_PER_TABLE) {
+        let pte = Pte(*w);
+        if !pte.present() {
+            continue;
+        }
+        let new = map.get(&pte.frame()).ok_or_else(|| {
+            HvError::BadImage(format!("PTE references unsaved frame {}", pte.frame()))
+        })?;
+        *w = Pte::new(*new, pte.0 & !0x0000_00ff_ffff_f000).0;
+    }
+    Ok(())
+}
+
+/// Restore an image into `hv`'s machine, placing the domain into
+/// `new_frames` (one per saved frame, any physical location).  Page
+/// tables are rewritten, base tables re-pinned, accounting rebuilt.
+///
+/// The guest's Rust-side kernel object is *not* rebuilt here — the
+/// caller thaws it from `image.guest_state` (see nimbus' restore path).
+pub fn restore_domain(
+    hv: &Hypervisor,
+    cpu: &Cpu,
+    image: &DomainImage,
+    new_frames: &[FrameNum],
+    pcpu: usize,
+) -> Result<Arc<Domain>, HvError> {
+    restore_domain_mapped(hv, cpu, image, new_frames, pcpu).map(|(dom, _)| dom)
+}
+
+/// [`restore_domain`], additionally returning the old→new frame
+/// relocation map — the guest kernel's thaw path needs it to translate
+/// its own frame references.
+pub fn restore_domain_mapped(
+    hv: &Hypervisor,
+    cpu: &Cpu,
+    image: &DomainImage,
+    new_frames: &[FrameNum],
+    pcpu: usize,
+) -> Result<(Arc<Domain>, HashMap<u32, u32>), HvError> {
+    if new_frames.len() != image.frames.len() {
+        return Err(HvError::BadImage(format!(
+            "need {} frames, got {}",
+            image.frames.len(),
+            new_frames.len()
+        )));
+    }
+    let map: HashMap<u32, u32> = image
+        .frames
+        .iter()
+        .zip(new_frames)
+        .map(|(fi, nf)| (fi.old_frame, nf.0))
+        .collect();
+
+    let mem = &hv.machine.mem;
+    let id = hv.allocate_domid(DomId(image.id));
+    let dom = Domain::new(id, image.name.clone(), image.privileged, pcpu);
+
+    for (fi, nf) in image.frames.iter().zip(new_frames) {
+        cpu.tick(costs::FRAME_COPY);
+        if fi.words.len() != WORDS_PER_PAGE {
+            return Err(HvError::BadImage("frame image wrong size".into()));
+        }
+        let mut words = fi.words.clone();
+        if matches!(fi.typ, PageType::L1 | PageType::L2) {
+            rewrite_table(&mut words, &map)?;
+        }
+        mem.import_frame(*nf, &words)?;
+        hv.page_info.set_owner(*nf, Some(id));
+        dom.add_frame(*nf);
+    }
+
+    // Re-pin base tables (this re-validates the whole rewritten tree —
+    // a malformed image fails here rather than corrupting the machine).
+    for old_pgd in &image.pgds {
+        let new_pgd = FrameNum(
+            *map.get(old_pgd)
+                .ok_or_else(|| HvError::BadImage("pgd not among saved frames".into()))?,
+        );
+        hv.page_info.pin_l2(cpu, mem, new_pgd, id)?;
+        dom.add_pgd(new_pgd);
+    }
+
+    dom.set_vcpus(
+        image
+            .vcpus
+            .iter()
+            .map(|v| VcpuState { pcpu, ..v.clone() })
+            .collect(),
+    );
+    *dom.guest_state.lock() = image.guest_state.clone();
+    hv.adopt_domain(Arc::clone(&dom));
+    Ok((dom, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::{Machine, MachineConfig};
+
+    fn rig() -> (Arc<Machine>, Arc<Hypervisor>) {
+        let machine = Machine::new(MachineConfig {
+            num_cpus: 1,
+            mem_frames: 2048,
+            disk_sectors: 64,
+        });
+        let hv = Hypervisor::warm_up(&machine);
+        hv.activate();
+        (machine, hv)
+    }
+
+    fn build_guest(machine: &Arc<Machine>, hv: &Arc<Hypervisor>) -> Arc<Domain> {
+        let cpu = machine.boot_cpu();
+        let q = machine.allocator.alloc_many(cpu, 8).unwrap();
+        let dom = hv.create_domain(cpu, "guest", q, 0).unwrap();
+        let f = dom.frames();
+        let (pgd, l1, data) = (f[0], f[1], f[2]);
+        let mem = &machine.mem;
+        mem.write_pte(cpu, pgd, 3, Pte::new(l1.0, Pte::WRITABLE | Pte::USER))
+            .unwrap();
+        mem.write_pte(cpu, l1, 7, Pte::new(data.0, Pte::WRITABLE | Pte::USER))
+            .unwrap();
+        mem.write_word(cpu, data.base(), 0xfeed_f00d).unwrap();
+        hv.pin_l2(cpu, &dom, pgd).unwrap();
+        *dom.guest_state.lock() = Some(serde_json::json!({"uptime": 42}));
+        dom
+    }
+
+    #[test]
+    fn save_restore_roundtrip_with_relocation() {
+        let (machine, hv) = rig();
+        let cpu = machine.boot_cpu();
+        let dom = build_guest(&machine, &hv);
+        let image = save_domain(&hv, cpu, &dom).unwrap();
+        assert_eq!(image.frames.len(), 8);
+        assert_eq!(image.pgds.len(), 1);
+
+        // Destroy, then restore into different frames.
+        let old_frames = hv.destroy_domain(cpu, &dom).unwrap();
+        for f in old_frames {
+            machine.allocator.free(f);
+        }
+        // Burn a few frames so the restore lands elsewhere.
+        let _burn = machine.allocator.alloc_many(cpu, 3).unwrap();
+        let new_frames = machine.allocator.alloc_many(cpu, 8).unwrap();
+        let restored = restore_domain(&hv, cpu, &image, &new_frames, 0).unwrap();
+
+        assert_eq!(restored.id, DomId(image.id));
+        assert_eq!(restored.frame_count(), 8);
+        assert_eq!(restored.guest_state.lock().clone().unwrap()["uptime"], 42);
+
+        // The rewritten tables still map the data page: walk them.
+        let pgd = restored.pgds()[0];
+        let pde = machine.mem.read_pte(cpu, pgd, 3).unwrap();
+        assert!(pde.present());
+        let pte = machine.mem.read_pte(cpu, FrameNum(pde.frame()), 7).unwrap();
+        assert!(pte.present());
+        let word = machine
+            .mem
+            .read_word(cpu, FrameNum(pte.frame()).base())
+            .unwrap();
+        assert_eq!(word, 0xfeed_f00d);
+    }
+
+    #[test]
+    fn image_bytes_roundtrip() {
+        let (machine, hv) = rig();
+        let cpu = machine.boot_cpu();
+        let dom = build_guest(&machine, &hv);
+        let image = save_domain(&hv, cpu, &dom).unwrap();
+        let bytes = image.to_bytes();
+        let back = DomainImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back.frames.len(), image.frames.len());
+        assert_eq!(back.pgds, image.pgds);
+        assert!(DomainImage::from_bytes(b"not an image").is_err());
+    }
+
+    #[test]
+    fn restore_rejects_frame_count_mismatch() {
+        let (machine, hv) = rig();
+        let cpu = machine.boot_cpu();
+        let dom = build_guest(&machine, &hv);
+        let image = save_domain(&hv, cpu, &dom).unwrap();
+        let too_few = machine.allocator.alloc_many(cpu, 2).unwrap();
+        assert!(matches!(
+            restore_domain(&hv, cpu, &image, &too_few, 0),
+            Err(HvError::BadImage(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_dangling_pte() {
+        let (machine, hv) = rig();
+        let cpu = machine.boot_cpu();
+        let dom = build_guest(&machine, &hv);
+        let mut image = save_domain(&hv, cpu, &dom).unwrap();
+        // Corrupt: make the L1 point at a frame outside the image.
+        let l1_img = image
+            .frames
+            .iter_mut()
+            .find(|f| f.typ == PageType::L1)
+            .unwrap();
+        l1_img.words[7] = Pte::new(9999, Pte::WRITABLE).0;
+        hv.destroy_domain(cpu, &dom).unwrap();
+        let new_frames = machine.allocator.alloc_many(cpu, 8).unwrap();
+        assert!(matches!(
+            restore_domain(&hv, cpu, &image, &new_frames, 0),
+            Err(HvError::BadImage(_))
+        ));
+    }
+
+    #[test]
+    fn wire_bytes_accounts_frames() {
+        let (machine, hv) = rig();
+        let cpu = machine.boot_cpu();
+        let dom = build_guest(&machine, &hv);
+        let image = save_domain(&hv, cpu, &dom).unwrap();
+        assert!(image.wire_bytes() >= 8 * simx86::PAGE_SIZE);
+    }
+}

@@ -1,0 +1,78 @@
+//! §6.1 — checkpoint the whole operating system, crash it, restore the
+//! checkpoint on a healthy machine.
+//!
+//! ```text
+//! cargo run --example checkpoint_restart
+//! ```
+
+use mercury::scenarios::checkpoint;
+use mercury::{Mercury, TrackingStrategy};
+use nimbus::drivers::block::NativeBlockDriver;
+use nimbus::kernel::{BootMode, KernelConfig, MmapBacking};
+use nimbus::mm::Prot;
+use nimbus::{Kernel, Session};
+use simx86::{Machine, MachineConfig, VirtAddr};
+use std::sync::Arc;
+use xenon::Hypervisor;
+
+fn main() {
+    let machine = Machine::new(MachineConfig::up());
+    let hv = Hypervisor::warm_up(&machine);
+    let cpu = machine.boot_cpu();
+    let pool = machine.allocator.alloc_many(cpu, 6 * 1024).unwrap();
+    let kernel = Kernel::boot(
+        Arc::clone(&machine),
+        KernelConfig {
+            pool,
+            mode: BootMode::Bare,
+            fs_blocks: 4096,
+            fs_first_block: 1,
+        },
+    )
+    .unwrap();
+    let bounce = machine.allocator.alloc(cpu).unwrap();
+    kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
+    kernel.set_net_driver(nimbus::drivers::net::NativeNetDriver::new(Arc::clone(
+        &machine,
+    )));
+    let mercury =
+        Mercury::install(Arc::clone(&kernel), hv, TrackingStrategy::RecomputeOnSwitch).unwrap();
+
+    // Mission-critical computation in progress.
+    let sess = Session::new(Arc::clone(&kernel), 0);
+    let va = sess.mmap(16, Prot::RW, MmapBacking::Anon).unwrap();
+    for step in 0..16u64 {
+        sess.poke(VirtAddr(va.0 + step * 4096), step * 1000)
+            .unwrap();
+    }
+    println!("computation at step 16; taking a checkpoint ...");
+
+    // Periodic checkpoint: attach, snapshot, detach.
+    let ckpt = checkpoint::take(&mercury, cpu).unwrap();
+    println!(
+        "checkpoint: {:.1} MiB captured; back in {:?} mode",
+        ckpt.bytes() as f64 / (1024.0 * 1024.0),
+        mercury.mode()
+    );
+
+    // More progress ... then catastrophe.
+    sess.poke(va, 999_999).unwrap();
+    println!("computation advanced past the checkpoint; then the node dies.");
+
+    // Restore on a healthy machine.
+    let healthy = Machine::new(MachineConfig::up());
+    let restored = checkpoint::restore(&healthy, &ckpt).unwrap();
+    let sess2 = Session::new(Arc::clone(&restored.kernel), 0);
+    println!(
+        "restored on a healthy machine (mode {:?}); step-0 value = {} (pre-divergence)",
+        restored.kernel.exec_mode(),
+        sess2.peek(va).unwrap()
+    );
+    for step in 0..16u64 {
+        assert_eq!(
+            sess2.peek(VirtAddr(va.0 + step * 4096)).unwrap(),
+            step * 1000
+        );
+    }
+    println!("all 16 checkpointed pages verified — the computation resumes from step 16");
+}

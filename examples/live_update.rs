@@ -1,0 +1,71 @@
+//! §6.4 — live kernel update: attach the VMM, patch the kernel under
+//! its mediation, detach, all without stopping applications.
+//!
+//! ```text
+//! cargo run --example live_update
+//! ```
+
+use mercury::scenarios::live_update;
+use mercury::{Mercury, TrackingStrategy};
+use nimbus::drivers::block::NativeBlockDriver;
+use nimbus::kernel::{BootMode, KernelConfig};
+use nimbus::{Kernel, Session};
+use simx86::{Machine, MachineConfig};
+use std::sync::Arc;
+use xenon::Hypervisor;
+
+fn main() {
+    let machine = Machine::new(MachineConfig::up());
+    let hv = Hypervisor::warm_up(&machine);
+    let cpu = machine.boot_cpu();
+    let pool = machine.allocator.alloc_many(cpu, 6 * 1024).unwrap();
+    let kernel = Kernel::boot(
+        Arc::clone(&machine),
+        KernelConfig {
+            pool,
+            mode: BootMode::Bare,
+            fs_blocks: 4096,
+            fs_first_block: 1,
+        },
+    )
+    .unwrap();
+    let bounce = machine.allocator.alloc(cpu).unwrap();
+    kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
+    let mercury =
+        Mercury::install(Arc::clone(&kernel), hv, TrackingStrategy::RecomputeOnSwitch).unwrap();
+
+    // A long-running service with open state.
+    let sess = Session::new(Arc::clone(&kernel), 0);
+    let fd = sess.open("service.db", true).unwrap();
+    sess.write(fd, b"records...").unwrap();
+    println!(
+        "service running; kernel unpatched: {:?}",
+        kernel.patch_version("cve-2026-0001")
+    );
+
+    // Apply a security fix live.
+    let report = live_update::apply(&mercury, cpu, "cve-2026-0001", 1).unwrap();
+    println!(
+        "patched {} -> v{} in {:.1} us total (attach + patch + detach), returned native: {}",
+        report.name,
+        report.new_version,
+        live_update::estimated_disruption_us(&report),
+        report.returned_native
+    );
+
+    // The service never noticed.
+    assert_eq!(sess.stat("service.db").unwrap().size, 10);
+    sess.write(fd, b"more").unwrap();
+    println!(
+        "service state intact; patch live: {:?}",
+        kernel.patch_version("cve-2026-0001")
+    );
+
+    // A superseding patch later.
+    let report = live_update::apply(&mercury, cpu, "cve-2026-0001", 2).unwrap();
+    println!(
+        "superseded v{:?} with v{}",
+        report.old_version.unwrap(),
+        report.new_version
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate tying the Mercury workspace together.
+//!
+//! The interesting code lives in the member crates; this crate exists so
+//! that the workspace-level `tests/` (integration tests spanning crates)
+//! and `examples/` (runnable scenario binaries) have a package to hang off.
+
+pub use mercury;
+pub use mercury_cluster;
+pub use mercury_workloads;
+pub use nimbus;
+pub use simx86;
+pub use xenon;

@@ -1,0 +1,186 @@
+//! Property-based integration tests: randomized workload sequences
+//! against the mode-switch and checkpoint machinery.
+//!
+//! The central invariants:
+//! * **Switch transparency** — interleaving mode switches anywhere in a
+//!   workload never changes its observable results (§4.3).
+//! * **Accounting idempotence** — every attach rebuilds the identical
+//!   `page_info` state for identical kernel state.
+//! * **Checkpoint fidelity** — restore reproduces exactly the kernel
+//!   state at capture, regardless of what ran before.
+
+use mercury_workloads::configs::{SysKind, TestBed};
+use nimbus::kernel::{MmapBacking, ReadOutcome};
+use nimbus::mm::Prot;
+use nimbus::Session;
+use proptest::prelude::*;
+use simx86::paging::{VirtAddr, PAGE_SIZE};
+
+/// A step of the randomized workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Poke { page: u8, value: u64 },
+    ForkExitWait,
+    FileAppend { bytes: u8 },
+    PipeRoundtrip { len: u8 },
+    Mprotect { ro: bool },
+    Switch, // toggle execution mode (no-op for beds without Mercury)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, any::<u64>()).prop_map(|(page, value)| Op::Poke { page, value }),
+        Just(Op::ForkExitWait),
+        (1u8..64).prop_map(|bytes| Op::FileAppend { bytes }),
+        (1u8..32).prop_map(|len| Op::PipeRoundtrip { len }),
+        any::<bool>().prop_map(|ro| Op::Mprotect { ro }),
+        Just(Op::Switch),
+    ]
+}
+
+/// Run the op sequence; returns the observable transcript.
+fn run_ops(bed: &TestBed, ops: &[Op]) -> Vec<String> {
+    let sess = bed.session(0);
+    let mut log = Vec::new();
+    let va = sess.mmap(8, Prot::RW, MmapBacking::Anon).unwrap();
+    let fd = sess.open("prop.dat", true).unwrap();
+    let (pr, pw) = sess.pipe().unwrap();
+    let cpu = bed.machine.boot_cpu();
+
+    for op in ops {
+        match op {
+            Op::Poke { page, value } => {
+                let addr = VirtAddr(va.0 + (*page as u64) * PAGE_SIZE);
+                if sess.poke(addr, *value).is_ok() {
+                    log.push(format!("poke {}", sess.peek(addr).unwrap()));
+                } else {
+                    sess.clear_signal();
+                    log.push("poke denied".into());
+                }
+            }
+            Op::ForkExitWait => {
+                sess.fork().unwrap();
+                assert!(sess.waitpid().unwrap().is_none());
+                sess.exit(7).unwrap();
+                let (_, code) = sess.waitpid().unwrap().unwrap();
+                log.push(format!("child exit {code}"));
+            }
+            Op::FileAppend { bytes } => {
+                let data = vec![0x41u8; *bytes as usize];
+                sess.write(fd, &data).unwrap();
+                log.push(format!("size {}", sess.stat("prop.dat").unwrap().size));
+            }
+            Op::PipeRoundtrip { len } => {
+                let data = vec![0x42u8; *len as usize];
+                sess.write(pw, &data).unwrap();
+                match sess.read(pr, *len as usize).unwrap() {
+                    ReadOutcome::Data(d) => log.push(format!("pipe {}", d.len())),
+                    other => panic!("{other:?}"),
+                }
+            }
+            Op::Mprotect { ro } => {
+                sess.mprotect(va, 8, if *ro { Prot::RO } else { Prot::RW })
+                    .unwrap();
+                log.push(format!("prot ro={ro}"));
+            }
+            Op::Switch => {
+                if let Some(m) = &bed.mercury {
+                    let out = if m.mode() == mercury::ExecMode::Native {
+                        m.switch_to_virtual(cpu)
+                    } else {
+                        m.switch_to_native(cpu)
+                    }
+                    .unwrap();
+                    assert!(!matches!(out, mercury::SwitchOutcome::Deferred { .. }));
+                }
+                // The transcript deliberately does NOT record the mode:
+                // switches must be invisible.
+            }
+        }
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case boots two machines — keep it affordable
+        .. ProptestConfig::default()
+    })]
+
+    /// Mode switches anywhere in a random workload never change its
+    /// observable behaviour: M-N with switches ≡ N-L without.
+    #[test]
+    fn switches_are_transparent_to_random_workloads(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        let native = run_ops(&TestBed::build(SysKind::NL, 1), &ops);
+        let switching = run_ops(&TestBed::build(SysKind::MN, 1), &ops);
+        prop_assert_eq!(native, switching);
+    }
+
+    /// After any random workload, attach → page_info snapshot is a pure
+    /// function of kernel state: two consecutive attach/detach cycles
+    /// produce identical accounting.
+    #[test]
+    fn frame_accounting_is_idempotent_after_random_work(
+        ops in proptest::collection::vec(op_strategy(), 1..16)
+    ) {
+        let bed = TestBed::build(SysKind::MN, 1);
+        run_ops(&bed, &ops);
+        let mercury = bed.mercury.as_ref().unwrap();
+        let hv = bed.hv.as_ref().unwrap();
+        let cpu = bed.machine.boot_cpu();
+        if mercury.mode() == mercury::ExecMode::Virtual {
+            mercury.switch_to_native(cpu).unwrap();
+        }
+        let strip = |v: Vec<xenon::page_info::PageInfo>| -> Vec<_> {
+            v.into_iter().map(|mut r| { r.dirty = false; r }).collect::<Vec<_>>()
+        };
+        mercury.switch_to_virtual(cpu).unwrap();
+        let first = strip(hv.page_info.snapshot());
+        mercury.switch_to_native(cpu).unwrap();
+        mercury.switch_to_virtual(cpu).unwrap();
+        let second = strip(hv.page_info.snapshot());
+        mercury.switch_to_native(cpu).unwrap();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Checkpoint → restore reproduces the captured state exactly.
+    #[test]
+    fn checkpoint_restore_roundtrip_after_random_work(
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        probe_page in 0u8..8,
+    ) {
+        let bed = TestBed::build(SysKind::MN, 1);
+        run_ops(&bed, &ops);
+        let mercury = bed.mercury.as_ref().unwrap();
+        let cpu = bed.machine.boot_cpu();
+        if mercury.mode() == mercury::ExecMode::Virtual {
+            mercury.switch_to_native(cpu).unwrap();
+        }
+
+        // Probe state at capture time.
+        let sess = bed.session(0);
+        let va = sess.mmap(8, Prot::RW, MmapBacking::Anon).unwrap();
+        let addr = VirtAddr(va.0 + probe_page as u64 * PAGE_SIZE);
+        sess.poke(addr, 0xC0FFEE).unwrap();
+        let files_at_capture = sess.stat("prop.dat").map(|s| s.size).unwrap_or(0);
+
+        let ckpt = mercury::scenarios::checkpoint::take(mercury, cpu).unwrap();
+
+        // Diverge.
+        sess.poke(addr, 1).unwrap();
+
+        // Restore elsewhere and verify.
+        let healthy = simx86::Machine::new(simx86::MachineConfig {
+            num_cpus: 1,
+            mem_frames: 16 * 1024,
+            disk_sectors: 96 * 1024,
+        });
+        let restored = mercury::scenarios::checkpoint::restore(&healthy, &ckpt).unwrap();
+        let sess2 = Session::new(std::sync::Arc::clone(&restored.kernel), 0);
+        prop_assert_eq!(sess2.peek(addr).unwrap(), 0xC0FFEE);
+        let restored_size = sess2.stat("prop.dat").map(|s| s.size).unwrap_or(0);
+        prop_assert_eq!(restored_size, files_at_capture);
+    }
+}

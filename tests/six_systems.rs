@@ -1,0 +1,129 @@
+//! Cross-crate integration: the six measured system configurations all
+//! execute an identical mixed workload with identical observable
+//! results — the behaviour-consistency requirement (§4.3) underlying
+//! every relative measurement in the paper.
+
+use mercury_workloads::configs::{SysKind, TestBed, ALL_SYSTEMS};
+use nimbus::kernel::{MmapBacking, ReadOutcome, RecvOutcome};
+use nimbus::mm::Prot;
+use simx86::paging::{VirtAddr, PAGE_SIZE};
+
+/// A workload touching every subsystem; returns a transcript of
+/// observable results that must be identical across systems.
+fn mixed_workload(bed: &TestBed) -> Vec<String> {
+    let sess = bed.session(0);
+    let mut log = Vec::new();
+
+    // Processes.
+    sess.exec("lat_proc").unwrap();
+    let child = sess.fork().unwrap();
+    log.push(format!("forked relative pid offset {}", child.0 - 1));
+    assert!(sess.waitpid().unwrap().is_none());
+    sess.exec("hello").unwrap();
+    sess.exit(3).unwrap();
+    let (reaped, code) = sess.waitpid().unwrap().unwrap();
+    log.push(format!("reaped offset {} code {}", reaped.0 - 1, code));
+
+    // Memory: COW + protection.
+    let va = sess.mmap(4, Prot::RW, MmapBacking::Anon).unwrap();
+    for p in 0..4u64 {
+        sess.poke(VirtAddr(va.0 + p * PAGE_SIZE), p + 100).unwrap();
+    }
+    let c2 = sess.fork().unwrap();
+    sess.poke(va, 555).unwrap(); // parent COW break
+    sess.sched_yield().unwrap();
+    assert_eq!(sess.current_pid(), Some(c2));
+    log.push(format!("child view {}", sess.peek(va).unwrap()));
+    sess.mprotect(va, 1, Prot::RO).unwrap();
+    let denied = sess.touch(va, true).is_err();
+    sess.clear_signal();
+    log.push(format!("write denied {denied}"));
+
+    // Filesystem.
+    let fd = sess.open("mix.dat", true).unwrap();
+    sess.write(fd, b"0123456789abcdef").unwrap();
+    sess.lseek(fd, 8).unwrap();
+    let data = match sess.read(fd, 8).unwrap() {
+        ReadOutcome::Data(d) => d,
+        other => panic!("{other:?}"),
+    };
+    log.push(format!("file tail {}", String::from_utf8_lossy(&data)));
+    log.push(format!("file size {}", sess.stat("mix.dat").unwrap().size));
+    sess.sync().unwrap();
+
+    // Pipes.
+    let (r, w) = sess.pipe().unwrap();
+    sess.write(w, b"through the pipe").unwrap();
+    if let ReadOutcome::Data(d) = sess.read(r, 64).unwrap() {
+        log.push(format!("pipe {}", String::from_utf8_lossy(&d)));
+    }
+
+    // Network (echo peer).
+    let s = sess.socket(7777).unwrap();
+    sess.sendto(s, 8888, b"net probe").unwrap();
+    match sess.recvfrom(s).unwrap() {
+        RecvOutcome::Datagram(src, d) => {
+            log.push(format!("echo from {src}: {}", String::from_utf8_lossy(&d)))
+        }
+        RecvOutcome::Blocked => log.push("echo lost".into()),
+    }
+
+    // File-backed mmap.
+    let ino = sess.stat("mix.dat").unwrap().ino;
+    let mva = sess
+        .mmap(1, Prot::RO, MmapBacking::File { ino, offset: 0 })
+        .unwrap();
+    log.push(format!("mmap word {:#x}", sess.peek(mva).unwrap()));
+
+    log
+}
+
+#[test]
+fn identical_results_on_all_six_systems() {
+    let baseline = mixed_workload(&TestBed::build(SysKind::NL, 1));
+    assert!(!baseline.is_empty());
+    for kind in ALL_SYSTEMS.into_iter().skip(1) {
+        let log = mixed_workload(&TestBed::build(kind, 1));
+        assert_eq!(log, baseline, "observable behaviour differs on {kind:?}");
+    }
+}
+
+#[test]
+fn identical_results_on_smp_beds() {
+    let baseline = mixed_workload(&TestBed::build(SysKind::NL, 2));
+    for kind in [SysKind::MN, SysKind::X0] {
+        let log = mixed_workload(&TestBed::build(kind, 2));
+        assert_eq!(log, baseline, "SMP behaviour differs on {kind:?}");
+    }
+}
+
+#[test]
+fn costs_are_ordered_native_fastest() {
+    // The performance *shape* must hold on any workload: N-L ≤ M-N ≪
+    // the virtualized columns, for a syscall-heavy loop.
+    let mut cycles = Vec::new();
+    for kind in [SysKind::NL, SysKind::MN, SysKind::X0] {
+        let bed = TestBed::build(kind, 1);
+        let sess = bed.session(0);
+        let t0 = sess.cpu().cycles();
+        let va = sess.mmap(32, Prot::RW, MmapBacking::Anon).unwrap();
+        for p in 0..32u64 {
+            sess.poke(VirtAddr(va.0 + p * PAGE_SIZE), p).unwrap();
+        }
+        sess.fork().unwrap();
+        sess.munmap(va, 32).unwrap();
+        cycles.push((kind, sess.cpu().cycles() - t0));
+    }
+    assert!(cycles[0].1 <= cycles[1].1, "{cycles:?}");
+    assert!(cycles[1].1 * 2 < cycles[2].1, "{cycles:?}");
+}
+
+#[test]
+fn console_collects_kernel_messages() {
+    let bed = TestBed::build(SysKind::MV, 1);
+    let sess = bed.session(0);
+    sess.kernel()
+        .pv()
+        .console_write(sess.cpu(), "integration says hi");
+    assert!(bed.machine.console.contains("integration says hi"));
+}

@@ -1,0 +1,215 @@
+//! Integration: mode switches interleaved with live kernel work.
+//!
+//! The paper's headline claim is that switches happen "without
+//! disturbing the running applications"; these tests hammer that from
+//! several angles, including failure injection.
+
+use mercury::{ExecMode, SwitchOutcome};
+use mercury_workloads::configs::{SysKind, TestBed};
+use nimbus::kernel::{MmapBacking, ReadOutcome};
+use nimbus::mm::Prot;
+use simx86::paging::{VirtAddr, PAGE_SIZE};
+use simx86::PrivLevel;
+
+fn mn_bed() -> TestBed {
+    TestBed::build(SysKind::MN, 1)
+}
+
+#[test]
+fn fifty_round_trips_under_running_workload() {
+    let bed = mn_bed();
+    let mercury = bed.mercury.as_ref().unwrap();
+    let cpu = bed.machine.boot_cpu();
+    let sess = bed.session(0);
+
+    let va = sess.mmap(8, Prot::RW, MmapBacking::Anon).unwrap();
+    let fd = sess.open("churn.dat", true).unwrap();
+    let mut expected_size = 0u64;
+
+    for round in 0..50u64 {
+        // Work in the current mode.
+        sess.poke(VirtAddr(va.0 + (round % 8) * PAGE_SIZE), round)
+            .unwrap();
+        sess.write(fd, b"x").unwrap();
+        expected_size += 1;
+        if round % 7 == 0 {
+            let child = sess.fork().unwrap();
+            assert!(sess.waitpid().unwrap().is_none());
+            assert_eq!(sess.current_pid(), Some(child));
+            sess.exit(0).unwrap();
+            sess.waitpid().unwrap().unwrap();
+        }
+        // Switch.
+        let out = if round % 2 == 0 {
+            mercury.switch_to_virtual(cpu).unwrap()
+        } else {
+            mercury.switch_to_native(cpu).unwrap()
+        };
+        assert!(
+            matches!(out, SwitchOutcome::Completed { .. }),
+            "round {round}: {out:?}"
+        );
+        // Verify state.
+        assert_eq!(
+            sess.peek(VirtAddr(va.0 + (round % 8) * PAGE_SIZE)).unwrap(),
+            round,
+            "memory corrupted at round {round}"
+        );
+        assert_eq!(sess.stat("churn.dat").unwrap().size, expected_size);
+    }
+    assert_eq!(
+        mercury
+            .stats
+            .attaches
+            .load(std::sync::atomic::Ordering::Relaxed),
+        25
+    );
+    assert_eq!(
+        mercury
+            .stats
+            .detaches
+            .load(std::sync::atomic::Ordering::Relaxed),
+        25
+    );
+}
+
+#[test]
+fn switch_requested_from_timer_path_while_busy() {
+    let bed = mn_bed();
+    let mercury = bed.mercury.as_ref().unwrap();
+    let cpu = bed.machine.boot_cpu();
+    let sess = bed.session(0);
+
+    // Hold the VO busy, request, then release and let the session's own
+    // service points (which poll the timer) commit the switch.
+    let guard = mercury.vo_refcount().enter();
+    assert!(matches!(
+        mercury.switch_to_virtual(cpu).unwrap(),
+        SwitchOutcome::Deferred { .. }
+    ));
+    assert_eq!(mercury.mode(), ExecMode::Native);
+    drop(guard);
+
+    // Ordinary workload continues; the retry timer fires at a service
+    // point within a few ticks.
+    let mut committed = false;
+    for _ in 0..5 {
+        sess.compute(simx86::costs::SWITCH_RETRY_PERIOD + 1);
+        sess.service();
+        if mercury.mode() == ExecMode::Virtual {
+            committed = true;
+            break;
+        }
+    }
+    assert!(committed, "retry timer never committed the deferred switch");
+}
+
+#[test]
+fn failure_injection_stale_selectors_fault_without_fixup() {
+    // Re-enact the §5.1.2 hazard directly: a context saved under the
+    // native GDT popped under the virtualized GDT must #GP.
+    use simx86::cpu::Gdt;
+    let native_ctx = Gdt::NATIVE.kernel_cs();
+    assert!(Gdt::VIRTUALIZED.check_selector(native_ctx).is_err());
+    // And the fixed-up selector passes — which is what Mercury's stack
+    // stub produces.
+    let mut fixed = native_ctx;
+    fixed.rpl = PrivLevel::Pl1;
+    assert!(Gdt::VIRTUALIZED.check_selector(fixed).is_ok());
+}
+
+#[test]
+fn blocked_processes_survive_switches() {
+    let bed = mn_bed();
+    let mercury = bed.mercury.as_ref().unwrap();
+    let cpu = bed.machine.boot_cpu();
+    let sess = bed.session(0);
+
+    let (r, w) = sess.pipe().unwrap();
+    let child = sess.fork().unwrap();
+    // Parent blocks reading the empty pipe; child becomes current.
+    assert!(matches!(sess.read(r, 4).unwrap(), ReadOutcome::Blocked));
+    assert_eq!(sess.current_pid(), Some(child));
+
+    // Switch modes with a process parked on a wait queue.
+    mercury.switch_to_virtual(cpu).unwrap();
+
+    // Child writes; parent wakes in the new mode and reads.
+    sess.write(w, b"ping").unwrap();
+    sess.sched_yield().unwrap();
+    match sess.read(r, 4).unwrap() {
+        ReadOutcome::Data(d) => assert_eq!(d, b"ping"),
+        other => panic!("{other:?}"),
+    }
+    mercury.switch_to_native(cpu).unwrap();
+}
+
+#[test]
+fn guests_created_in_virtual_mode_block_detach_until_destroyed() {
+    let bed = mn_bed();
+    let mercury = bed.mercury.as_ref().unwrap();
+    let hv = bed.hv.as_ref().unwrap();
+    let cpu = bed.machine.boot_cpu();
+    mercury.switch_to_virtual(cpu).unwrap();
+    let quota = bed.machine.allocator.alloc_many(cpu, 32).unwrap();
+    let dom = hv.create_domain(cpu, "tenant", quota, 0).unwrap();
+    assert!(mercury.switch_to_native(cpu).is_err());
+    let frames = hv.destroy_domain(cpu, &dom).unwrap();
+    for f in frames {
+        bed.machine.allocator.free(f);
+    }
+    assert!(matches!(
+        mercury.switch_to_native(cpu).unwrap(),
+        SwitchOutcome::Completed { .. }
+    ));
+}
+
+#[test]
+fn failed_attach_rolls_back_and_native_execution_continues() {
+    // The paper's §8 future work: "An OS not in a correct state might
+    // make the mode switch fail.  Hence, a failure-resistant mode
+    // switch will be necessary."  Our attach rejects tainted page
+    // tables; this test verifies the rejection leaves the kernel fully
+    // operational in native mode (transfer compensation).
+    let bed = mn_bed();
+    let mercury = bed.mercury.as_ref().unwrap();
+    let cpu = bed.machine.boot_cpu();
+    let sess = bed.session(0);
+
+    let va = sess.mmap(2, Prot::RW, MmapBacking::Anon).unwrap();
+    sess.poke(va, 11).unwrap();
+
+    mercury::scenarios::healing::inject_taint(mercury, cpu).unwrap();
+    assert!(mercury.switch_to_virtual(cpu).is_err());
+    assert_eq!(mercury.mode(), ExecMode::Native);
+    assert_eq!(cpu.pl(), PrivLevel::Pl0);
+    assert!(!bed.hv.as_ref().unwrap().is_active());
+
+    // Page-table frames are writable again in the direct map ...
+    let kmap = mercury.kernel().kmap();
+    for f in mercury.kernel().all_table_frames() {
+        if let Some((l1, idx)) = kmap.locate(f) {
+            assert!(
+                bed.machine.mem.read_pte(cpu, l1, idx).unwrap().writable(),
+                "direct-map entry for {f:?} left read-only after rollback"
+            );
+        }
+    }
+    // ... and the full process machinery still works (context switches
+    // pop kernel-stack selectors that must have been restored to PL0).
+    sess.clear_signal();
+    let child = sess.fork().unwrap();
+    assert!(sess.waitpid().unwrap().is_none());
+    assert_eq!(sess.current_pid(), Some(child));
+    sess.exit(0).unwrap();
+    assert!(sess.waitpid().unwrap().is_some());
+    sess.poke(va, 12).unwrap();
+    assert_eq!(sess.peek(va).unwrap(), 12);
+
+    // After healing, the attach succeeds.
+    mercury::scenarios::healing::heal(mercury, cpu).unwrap();
+    assert!(matches!(
+        mercury.switch_to_virtual(cpu).unwrap(),
+        SwitchOutcome::Completed { .. }
+    ));
+}

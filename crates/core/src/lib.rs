@@ -80,6 +80,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "dyncheck")]
+pub mod dyncheck;
 pub mod pgtrack;
 pub mod refcount;
 pub mod rendezvous;

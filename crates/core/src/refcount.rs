@@ -15,6 +15,9 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct VoRefCount {
     count: AtomicUsize,
+    /// Happens-before shadow for the dynamic protocol checker.
+    #[cfg(feature = "dyncheck")]
+    monitor: crate::dyncheck::RcMonitor,
 }
 
 impl VoRefCount {
@@ -25,6 +28,8 @@ impl VoRefCount {
 
     /// Enter a sensitive section; the guard exits on drop.
     pub fn enter(self: &Arc<Self>) -> VoGuard {
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_enter();
         self.count.fetch_add(1, Ordering::AcqRel);
         VoGuard {
             counter: Arc::clone(self),
@@ -33,12 +38,28 @@ impl VoRefCount {
 
     /// Current in-flight count.
     pub fn current(&self) -> usize {
-        self.count.load(Ordering::Acquire)
+        let n = self.count.load(Ordering::Acquire);
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_observe();
+        n
     }
 
     /// Is a mode switch safe right now?
     pub fn is_idle(&self) -> bool {
         self.current() == 0
+    }
+
+    /// Dynamic check: every completed exit happens-before this point
+    /// (called by the switch path right after the quiescence gate).
+    #[cfg(feature = "dyncheck")]
+    pub fn assert_quiescent(&self) {
+        self.monitor.assert_quiescent();
+    }
+
+    /// Dynamic check: enters and exits balance at a join point.
+    #[cfg(feature = "dyncheck")]
+    pub fn check_balanced(&self) -> Option<String> {
+        self.monitor.check_balanced()
     }
 }
 
@@ -49,6 +70,8 @@ pub struct VoGuard {
 
 impl Drop for VoGuard {
     fn drop(&mut self) {
+        #[cfg(feature = "dyncheck")]
+        self.counter.monitor.on_exit();
         self.counter.count.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -72,6 +95,24 @@ mod tests {
             assert_eq!(rc.current(), 1);
         }
         assert!(rc.is_idle());
+    }
+
+    #[test]
+    fn guard_drop_survives_panicking_section() {
+        // A panic inside a sensitive section must still run the guard's
+        // Drop, or the counter would stay pinned and every future mode
+        // switch would be deferred forever.
+        let rc = VoRefCount::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = rc.enter();
+            assert_eq!(rc.current(), 1);
+            panic!("sensitive section blew up");
+        }));
+        assert!(result.is_err());
+        assert!(rc.is_idle(), "guard drop must restore idleness after a panic");
+        // And the counter is still usable afterwards.
+        let _g = rc.enter();
+        assert_eq!(rc.current(), 1);
     }
 
     #[test]

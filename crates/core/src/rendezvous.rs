@@ -32,6 +32,9 @@ pub struct Rendezvous {
     done: AtomicUsize,
     /// A rendezvous is in progress.
     active: AtomicBool,
+    /// Happens-before shadow for the dynamic protocol checker.
+    #[cfg(feature = "dyncheck")]
+    monitor: crate::dyncheck::RvMonitor,
 }
 
 /// Why a rendezvous failed.
@@ -59,6 +62,8 @@ impl Rendezvous {
         if self.active.swap(true, Ordering::AcqRel) {
             return Err(RendezvousError::Busy);
         }
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_begin();
         self.ready.store(0, Ordering::Release);
         self.done.store(0, Ordering::Release);
         self.go.store(false, Ordering::Release);
@@ -72,17 +77,23 @@ impl Rendezvous {
         let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
         while self.ready.load(Ordering::Acquire) < peers {
             if Instant::now() > deadline {
+                #[cfg(feature = "dyncheck")]
+                self.monitor.on_abort();
                 self.active.store(false, Ordering::Release);
                 return Err(RendezvousError::Timeout);
             }
             std::hint::spin_loop();
             std::thread::yield_now();
         }
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_wait_ready_ok(peers);
         Ok(())
     }
 
     /// CP side: raise the shared go flag.
     pub fn signal_go(&self) {
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_signal_go();
         self.go.store(true, Ordering::Release);
     }
 
@@ -99,18 +110,24 @@ impl Rendezvous {
         let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
         while self.done.load(Ordering::Acquire) < peers {
             if Instant::now() > deadline {
+                #[cfg(feature = "dyncheck")]
+                self.monitor.on_abort();
                 self.active.store(false, Ordering::Release);
                 return Err(RendezvousError::Timeout);
             }
             std::hint::spin_loop();
             std::thread::yield_now();
         }
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_wait_done_ok(peers);
         self.active.store(false, Ordering::Release);
         Ok(())
     }
 
     /// Peer side: check in and spin until the CP raises the go flag.
     pub fn check_in_and_wait(&self) -> Result<(), RendezvousError> {
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_check_in();
         self.ready.fetch_add(1, Ordering::AcqRel);
         let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
         while !self.go.load(Ordering::Acquire) {
@@ -124,11 +141,15 @@ impl Rendezvous {
             std::hint::spin_loop();
             std::thread::yield_now();
         }
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_observed_go();
         Ok(())
     }
 
     /// Peer side: report the per-CPU switch step complete.
     pub fn complete(&self) {
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_complete();
         self.done.fetch_add(1, Ordering::AcqRel);
     }
 }
@@ -160,6 +181,41 @@ mod tests {
         let r = Rendezvous::new();
         r.begin().unwrap();
         assert_eq!(r.begin().unwrap_err(), RendezvousError::Busy);
+    }
+
+    #[test]
+    fn busy_begin_fails_fast_without_spinning() {
+        // A second CP racing into an in-flight rendezvous must bounce
+        // with Busy immediately — not wedge until RENDEZVOUS_TIMEOUT.
+        let r = Arc::new(Rendezvous::new());
+        r.begin().unwrap();
+        let contender = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let err = r.begin().unwrap_err();
+                (err, started.elapsed())
+            })
+        };
+        let (err, elapsed) = contender.join().unwrap();
+        assert_eq!(err, RendezvousError::Busy);
+        assert!(
+            elapsed < RENDEZVOUS_TIMEOUT / 2,
+            "busy begin took {elapsed:?}; it must not spin toward the timeout"
+        );
+
+        // The original rendezvous is undisturbed and still completes.
+        let peer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                r.check_in_and_wait().unwrap();
+                r.complete();
+            })
+        };
+        r.wait_ready_and_go(1).unwrap();
+        r.wait_done(1).unwrap();
+        peer.join().unwrap();
+        assert!(!r.in_progress());
     }
 
     #[test]

@@ -126,6 +126,10 @@ fn scan(mercury: &Arc<Mercury>, cpu: &Arc<Cpu>, repair: bool) -> Result<RepairRe
                 if !owned {
                     report.repaired_entries += 1;
                     if repair {
+                        // The healer runs at PL0 below the VO layer — it
+                        // repairs tables the VO dispatch itself may be
+                        // corrupted by (§6.2).
+                        // volint::allow(VO-BYPASS): sub-VO repair path
                         mem.write_pte(cpu, l1, l1_idx, Pte::ABSENT)
                             .map_err(HealError::Hardware)?;
                     }
@@ -135,6 +139,7 @@ fn scan(mercury: &Arc<Mercury>, cpu: &Arc<Cpu>, repair: bool) -> Result<RepairRe
     }
     if repair && report.repaired_entries > 0 {
         for c in &kernel.machine.cpus {
+            // volint::allow(VO-BYPASS): post-repair TLB shootdown, below VO
             c.flush_tlb_local();
         }
     }
@@ -160,9 +165,13 @@ pub fn inject_taint(mercury: &Arc<Mercury>, cpu: &Arc<Cpu>) -> Result<bool, Heal
             for l1_idx in 0..ENTRIES_PER_TABLE {
                 let pte = mem.read_pte(cpu, l1, l1_idx).map_err(HealError::Hardware)?;
                 if pte.present() {
+                    // Deliberate fault injection: the taint must bypass the
+                    // VO or it would be validated away.
+                    // volint::allow(VO-BYPASS): fault injection
                     mem.write_pte(cpu, l1, l1_idx, Pte::new(foreign, pte.0 & 0xfff))
                         .map_err(HealError::Hardware)?;
                     for c in &kernel.machine.cpus {
+                        // volint::allow(VO-BYPASS): flush of injected taint
                         c.flush_tlb_local();
                     }
                     return Ok(true);

@@ -459,6 +459,10 @@ impl Mercury {
             self.stats.deferrals.fetch_add(1, Ordering::Relaxed);
             return Ok(SwitchOutcome::Deferred { refcount: rc });
         }
+        // Dynamic invariant: every exit that let the count reach zero
+        // must happen-before this decision point.
+        #[cfg(feature = "dyncheck")]
+        self.refcount.assert_quiescent();
 
         let t0 = cpu.rdtsc();
 

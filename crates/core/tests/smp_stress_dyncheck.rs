@@ -1,0 +1,150 @@
+//! SMP stress under the vector-clock happens-before checker.
+//!
+//! With `--features dyncheck` the rendezvous (§5.4) and refcount
+//! (§5.1.1) hot paths carry shadow vector clocks.  This test drives
+//! repeated attach/detach rounds from the control processor while a
+//! peer thread services CPU 1's IPIs and two more threads churn VO
+//! guards, then asserts the checker recorded **zero** protocol
+//! violations: every check-in happened-before the go decision, every
+//! completion happened-before the rendezvous closed, and every
+//! refcount exit happened-before the quiescence gate that saw zero.
+
+#![cfg(feature = "dyncheck")]
+
+use mercury::{dyncheck, Mercury, SwitchOutcome, TrackingStrategy};
+use nimbus::drivers::block::NativeBlockDriver;
+use nimbus::drivers::net::NativeNetDriver;
+use nimbus::kernel::{BootMode, KernelConfig};
+use nimbus::Kernel;
+use simx86::{Machine, MachineConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xenon::Hypervisor;
+
+fn rig(cpus: usize) -> (Arc<Machine>, Arc<Mercury>) {
+    let machine = Machine::new(MachineConfig {
+        num_cpus: cpus,
+        mem_frames: 16 * 1024,
+        disk_sectors: 64 * 1024,
+    });
+    let hv = Hypervisor::warm_up(&machine);
+    let cpu = machine.boot_cpu();
+    let pool = machine.allocator.alloc_many(cpu, 8 * 1024).unwrap();
+    let kernel = Kernel::boot(
+        Arc::clone(&machine),
+        KernelConfig {
+            pool,
+            mode: BootMode::Bare,
+            fs_blocks: 4096,
+            fs_first_block: 1,
+        },
+    )
+    .unwrap();
+    let bounce = machine.allocator.alloc(cpu).unwrap();
+    kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
+    kernel.set_net_driver(NativeNetDriver::new(Arc::clone(&machine)));
+    let mercury = Mercury::install(kernel, hv, TrackingStrategy::RecomputeOnSwitch).unwrap();
+    (machine, mercury)
+}
+
+#[test]
+fn smp_stress_has_no_happens_before_violations() {
+    let (machine, mercury) = rig(2);
+    // Start from a clean report buffer (other tests in this binary may
+    // share the global).
+    let _ = dyncheck::take_reports();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_peer = Arc::new(AtomicBool::new(false));
+
+    // Peer thread: services CPU 1 so it participates in every
+    // rendezvous the CP opens.
+    let peer = {
+        let cpu1 = Arc::clone(&machine.cpus[1]);
+        let stop = Arc::clone(&stop_peer);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                cpu1.service_pending();
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    // Guard churners: hammer the VO reference count so switch requests
+    // race against live sensitive sections and get deferred.
+    let churners: Vec<_> = (0..2)
+        .map(|_| {
+            let rc = Arc::clone(mercury.vo_refcount());
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let g = rc.enter();
+                    std::hint::spin_loop();
+                    drop(g);
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    // CP: flip modes repeatedly; a Deferred outcome (guard in flight)
+    // is retried until the switch lands.
+    let cpu0 = machine.boot_cpu();
+    let mut completed = 0u32;
+    for round in 0..10u64 {
+        let to_virtual = round % 2 == 0;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let out = if to_virtual {
+                mercury.switch_to_virtual(cpu0)
+            } else {
+                mercury.switch_to_native(cpu0)
+            }
+            .unwrap_or_else(|e| panic!("switch failed at round {round}: {e}"));
+            match out {
+                SwitchOutcome::Completed { .. } => {
+                    completed += 1;
+                    break;
+                }
+                SwitchOutcome::AlreadyInMode => break,
+                SwitchOutcome::Deferred { .. } => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "round {round} deferred past deadline"
+                    );
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    assert!(completed >= 8, "only {completed} switches completed");
+
+    stop.store(true, Ordering::Release);
+    for c in churners {
+        c.join().expect("churner panicked");
+    }
+
+    // End in native mode (peer thread still servicing CPU 1).
+    if mercury.mode() == mercury::ExecMode::Virtual {
+        loop {
+            match mercury.switch_to_native(cpu0).unwrap() {
+                SwitchOutcome::Deferred { .. } => std::thread::yield_now(),
+                _ => break,
+            }
+        }
+    }
+    stop_peer.store(true, Ordering::Release);
+    peer.join().expect("peer thread panicked");
+
+    // The whole run must be clean: no missing happens-before edge was
+    // observed by any monitor, and the count balances at this join.
+    let reports = dyncheck::take_reports();
+    assert!(
+        reports.is_empty(),
+        "happens-before checker found {} violation(s):\n{}",
+        reports.len(),
+        reports.join("\n")
+    );
+    assert_eq!(mercury.vo_refcount().check_balanced(), None);
+    assert!(mercury.vo_refcount().is_idle());
+}

@@ -401,6 +401,7 @@ impl Kernel {
                 .find(|(l2, _)| *l2 == va.l2_index())
                 .map(|(_, t)| *t)
                 .expect("pool frame outside the computed direct map");
+            // volint::allow(VO-BYPASS): boot direct-map build predates the VO
             machine.mem.write_pte(
                 cpu,
                 l1,
@@ -422,6 +423,7 @@ impl Kernel {
         match &self.mode {
             BootMode::Bare => {
                 for cpu in &self.machine.cpus {
+                    // volint::allow(VO-BYPASS): pre-VO bootstrap privilege set
                     cpu.set_pl_raw(PrivLevel::Pl0);
                     self.pv().load_trap_table(cpu, Arc::clone(&self.idt))?;
                     self.pv().irq_enable(cpu);
@@ -438,6 +440,7 @@ impl Kernel {
                         .locate(l1)
                         .expect("kernel L1 must be direct-mapped");
                     let cur = self.machine.mem.read_pte(cpu, holder, idx)?;
+                    // volint::allow(VO-BYPASS): guest boot RO-flip precedes pinning
                     self.machine.mem.write_pte(
                         cpu,
                         holder,
@@ -448,6 +451,7 @@ impl Kernel {
                 for cpu in &self.machine.cpus {
                     hv.install_on_cpu(cpu);
                     hv.set_current(cpu.id, Some(dom.id));
+                    // volint::allow(VO-BYPASS): pre-VO bootstrap privilege set
                     cpu.set_pl_raw(PrivLevel::Pl1);
                 }
                 let cpu = self.machine.boot_cpu();

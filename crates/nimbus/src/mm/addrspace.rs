@@ -368,6 +368,7 @@ impl AddressSpace {
                 };
                 // Direct write: child table is unvalidated while built.
                 ctx.cpu.tick(costs::PTE_WRITE_NATIVE);
+                // volint::allow(VO-BYPASS): table not yet registered with any VO
                 ctx.mem.write_pte(ctx.cpu, child_l1, idx, shared)?;
                 if ctx.pool.refcount(frame) > 0 {
                     ctx.pool.incref(frame);

@@ -282,6 +282,7 @@ impl Cpu {
     /// and the state-reload path may call this; ordinary code changes
     /// privilege exclusively through gates.
     #[inline]
+    #[doc(alias = "volint-privileged")]
     pub fn set_pl_raw(&self, pl: PrivLevel) {
         self.pl.store(pl as u8, Ordering::Release);
     }
@@ -300,6 +301,7 @@ impl Cpu {
 
     /// Load CR3 with the page-directory frame number.  Privileged;
     /// flushes the TLB (non-global entries) and charges the reload cost.
+    #[doc(alias = "volint-privileged")]
     pub fn write_cr3(&self, pgd_frame: u32) -> Result<(), Fault> {
         self.require_pl0("mov cr3")?;
         self.tick(costs::CR3_LOAD_NATIVE);
@@ -309,6 +311,7 @@ impl Cpu {
     }
 
     /// Read CR3.  Privileged, as on x86.
+    #[doc(alias = "volint-privileged")]
     pub fn read_cr3(&self) -> Result<u32, Fault> {
         self.require_pl0("mov from cr3")?;
         Ok(self.cr3.load(Ordering::Acquire) as u32)
@@ -323,6 +326,7 @@ impl Cpu {
 
     /// Hardware-internal CR3 restore used by state reloading; does not
     /// charge the privileged-instruction path.
+    #[doc(alias = "volint-privileged")]
     pub fn set_cr3_raw(&self, pgd_frame: u32) {
         self.cr3.store(pgd_frame as u64, Ordering::Release);
         self.flush_tlb_local();
@@ -330,12 +334,14 @@ impl Cpu {
 
     /// Flush this CPU's entire TLB (privilege enforced by callers via
     /// `invlpg`/CR3 paths; exposed for the paravirt layer).
+    #[doc(alias = "volint-privileged")]
     pub fn flush_tlb_local(&self) {
         self.tick(costs::TLB_FLUSH);
         self.tlb.lock().flush();
     }
 
     /// Invalidate a single page translation.
+    #[doc(alias = "volint-privileged")]
     pub fn invlpg(&self, vpn: u64) {
         self.tick(4);
         self.tlb.lock().invalidate(vpn);
@@ -344,6 +350,7 @@ impl Cpu {
     // -- interrupt flag -----------------------------------------------
 
     /// `cli`: disable interrupts.  Privileged.
+    #[doc(alias = "volint-privileged")]
     pub fn cli(&self) -> Result<(), Fault> {
         self.require_pl0("cli")?;
         self.if_flag.store(false, Ordering::Release);
@@ -351,6 +358,7 @@ impl Cpu {
     }
 
     /// `sti`: enable interrupts.  Privileged.
+    #[doc(alias = "volint-privileged")]
     pub fn sti(&self) -> Result<(), Fault> {
         self.require_pl0("sti")?;
         self.if_flag.store(true, Ordering::Release);
@@ -358,6 +366,7 @@ impl Cpu {
     }
 
     /// Hardware-internal IF manipulation for trap entry/exit.
+    #[doc(alias = "volint-privileged")]
     pub fn set_if_raw(&self, enabled: bool) {
         self.if_flag.store(enabled, Ordering::Release);
     }
@@ -371,6 +380,7 @@ impl Cpu {
     // -- descriptor tables --------------------------------------------
 
     /// `lidt`: install a gate table.  Privileged.
+    #[doc(alias = "volint-privileged")]
     pub fn lidt(&self, table: Arc<IdtTable>) -> Result<(), Fault> {
         self.require_pl0("lidt")?;
         self.tick(60);
@@ -379,6 +389,7 @@ impl Cpu {
     }
 
     /// Hardware-internal IDT swap for the state-reload path.
+    #[doc(alias = "volint-privileged")]
     pub fn set_idt_raw(&self, table: Arc<IdtTable>) {
         *self.idt.write() = Some(table);
     }
@@ -389,6 +400,7 @@ impl Cpu {
     }
 
     /// `lgdt`: install a descriptor table.  Privileged.
+    #[doc(alias = "volint-privileged")]
     pub fn lgdt(&self, gdt: Gdt) -> Result<(), Fault> {
         self.require_pl0("lgdt")?;
         self.tick(60);
@@ -397,6 +409,7 @@ impl Cpu {
     }
 
     /// Hardware-internal GDT swap for the state-reload path.
+    #[doc(alias = "volint-privileged")]
     pub fn set_gdt_raw(&self, gdt: Gdt) {
         *self.gdt.write() = gdt;
     }
@@ -411,6 +424,7 @@ impl Cpu {
     /// Enter or leave VT-x-style non-root execution with the given EPT.
     /// In non-root mode the kernel keeps PL0 (no de-privileging); the
     /// EPT filters every translation.
+    #[doc(alias = "volint-privileged")]
     pub fn set_non_root(&self, ept: Option<Arc<crate::vmx::Ept>>) {
         self.non_root.store(ept.is_some(), Ordering::Release);
         *self.ept.write() = ept;

@@ -46,6 +46,7 @@ impl InterruptController {
     }
 
     /// Send an IPI to every CPU except the sender.
+    #[doc(alias = "volint-privileged")]
     pub fn broadcast_ipi(&self, from: &Cpu, vector: u8) {
         for cpu in &self.cpus {
             if cpu.id != from.id {

@@ -41,6 +41,7 @@ pub mod machine;
 pub mod mem;
 pub mod mmu;
 pub mod paging;
+pub mod privops;
 pub mod tlb;
 pub mod vmx;
 

@@ -142,6 +142,7 @@ impl PhysMemory {
     /// This is the *raw hardware store*: privilege / ownership policy is
     /// enforced by the layers above (kernel paravirt layer, hypervisor
     /// validators), not here.
+    #[doc(alias = "volint-privileged")]
     pub fn write_pte(
         &self,
         cpu: &Cpu,

@@ -1,0 +1,309 @@
+//! volint — the Mercury invariant checker.
+//!
+//! Mercury's safety story rests on invariants the Rust compiler cannot
+//! see: every virtualization-sensitive operation must route through a
+//! Virtualization Object (paper §4.2/§5.3), every `VoRefCount::enter`
+//! must pair with an exit so the switch gate (§5.1.1) is sound, the
+//! `PvOps` dispatch table must be total across VOes with symmetric
+//! state transfer (§5.1.2/§5.1.3), and the SMP rendezvous protocol
+//! (§5.4) must use acquire/release atomics.  volint enforces all four
+//! as a static pass over the workspace source.
+//!
+//! Use it as a library ([`analyze_sources`] / [`analyze_workspace`]
+//! produce structured [`Diagnostic`]s) or as a binary
+//! (`cargo run -p volint`) that exits nonzero on violations.
+//!
+//! Sanctioned exceptions are expressed in-source with a waiver comment
+//! on (or directly above) the offending line:
+//!
+//! ```text
+//! // volint::allow(VO-BYPASS): pre-VO bootstrap, PvOps not built yet
+//! cpu.set_pl_raw(PrivLevel::Pl0);
+//! ```
+//!
+//! The crate is dependency-free by design so it can run in minimal CI
+//! sandboxes and during offline bootstraps.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod markers;
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The invariant a diagnostic belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Privileged primitive reached outside a VO (paper §4.2/§5.3).
+    VoBypass,
+    /// Unbalanced / leaked / deadlocking VO guard (paper §5.1.1).
+    RefcountLeak,
+    /// Incomplete dispatch table or asymmetric transfer (§5.1.2/§5.1.3).
+    DispatchGap,
+    /// Relaxed atomics on rendezvous/refcount state (paper §5.4).
+    AtomicOrder,
+}
+
+impl Rule {
+    /// Stable rule identifier, as used in waiver comments and docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::VoBypass => "VO-BYPASS",
+            Rule::RefcountLeak => "REFCOUNT-LEAK",
+            Rule::DispatchGap => "DISPATCH-GAP",
+            Rule::AtomicOrder => "ATOMIC-ORDER",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; does not fail the build.
+    Warning,
+    /// Invariant violation; the binary exits nonzero.
+    Error,
+}
+
+/// One reported invariant violation.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(
+            f,
+            "{}:{}: {sev}[{}]: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Diagnostic {
+    /// Hand-rolled JSON encoding (volint is dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"file":"{}","line":{},"rule":"{}","severity":"{}","message":"{}"}}"#,
+            json_escape(&self.file),
+            self.line,
+            self.rule,
+            match self.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            },
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lint configuration: the privileged-op set, sanctioned paths and
+/// dispatch conventions.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Names of privileged hardware primitives (VO-BYPASS targets).
+    pub privileged: BTreeSet<String>,
+    /// Path prefixes exempt from VO-BYPASS: the hardware model itself,
+    /// the VMM, and the designated switch-handler module.
+    pub allow_paths: Vec<String>,
+    /// The paravirtualization dispatch trait.
+    pub pvops_trait: String,
+    /// The canonical VO implementations that must all exist.
+    pub vo_impls: Vec<String>,
+    /// Receiver names that denote routed-through-PvOps dispatch
+    /// (`ctx.pv.invlpg(..)`).
+    pub dispatch_receivers: BTreeSet<String>,
+    /// Calls that block on a pending switch or rendezvous; holding a VO
+    /// guard across them deadlocks (REFCOUNT-LEAK).
+    pub blocking_calls: BTreeSet<String>,
+}
+
+impl Config {
+    /// The configuration for the Mercury workspace.
+    pub fn mercury_defaults() -> Self {
+        let privileged = [
+            // control registers / address-space roots
+            "write_cr3",
+            "set_cr3_raw",
+            // descriptor tables
+            "lidt",
+            "set_idt_raw",
+            "lgdt",
+            "set_gdt_raw",
+            // interrupt flag + privilege level
+            "cli",
+            "sti",
+            "set_if_raw",
+            "set_pl_raw",
+            "set_non_root",
+            // TLB maintenance
+            "flush_tlb_local",
+            "invlpg",
+            // page-table mutation
+            "write_pte",
+            // inter-processor interrupts
+            "broadcast_ipi",
+        ];
+        let receivers = ["pv", "inner", "ops"];
+        let blocking = [
+            "switch_to_virtual",
+            "switch_to_native",
+            "wait_ready",
+            "wait_done",
+            "wait_ready_and_go",
+            "check_in_and_wait",
+        ];
+        Config {
+            privileged: privileged.iter().map(|s| s.to_string()).collect(),
+            allow_paths: vec![
+                "crates/simx86/".to_string(),
+                "crates/xenon/".to_string(),
+                "crates/core/src/switch.rs".to_string(),
+            ],
+            pvops_trait: "PvOps".to_string(),
+            vo_impls: vec![
+                "BareOps".to_string(),
+                "XenOps".to_string(),
+                "HvmOps".to_string(),
+            ],
+            dispatch_receivers: receivers.iter().map(|s| s.to_string()).collect(),
+            blocking_calls: blocking.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Analyze in-memory sources: `(logical path, contents)` pairs.
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+    let facts: Vec<_> = sources
+        .iter()
+        .map(|(name, src)| scan::scan_file(name, src))
+        .collect();
+    rules::check(&facts, cfg)
+}
+
+/// Walk a workspace root, analyze every `.rs` file, and return the
+/// diagnostics.  The privileged-op set is augmented with every
+/// `#[doc(alias = "volint-privileged")]` marker found under
+/// `crates/simx86/`, so the hardware layer stays the source of truth.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut sources = Vec::with_capacity(files.len());
+    let mut cfg = cfg.clone();
+    for rel in files {
+        let abs = root.join(&rel);
+        let Ok(src) = std::fs::read_to_string(&abs) else {
+            continue; // non-UTF8 or vanished; skip
+        };
+        let name = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        if name.starts_with("crates/simx86/") {
+            for m in markers::scan(&src) {
+                cfg.privileged.insert(m);
+            }
+        }
+        sources.push((name, src));
+    }
+    Ok(analyze_sources(&sources, &cfg))
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | ".github" | "fixtures" | "node_modules"
+            ) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_display_and_json() {
+        let d = Diagnostic {
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            rule: Rule::VoBypass,
+            severity: Severity::Error,
+            message: "privileged `lidt` outside a VO".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/a.rs:7: error[VO-BYPASS]: privileged `lidt` outside a VO"
+        );
+        let j = d.to_json();
+        assert!(j.contains(r#""rule":"VO-BYPASS""#));
+        assert!(j.contains(r#""line":7"#));
+    }
+
+    #[test]
+    fn analyze_sources_end_to_end() {
+        let cfg = Config::mercury_defaults();
+        let bad = "fn f(cpu: &Cpu) { cpu.lidt(0); }".to_string();
+        let diags = analyze_sources(&[("crates/app/src/x.rs".to_string(), bad)], &cfg);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::VoBypass);
+
+        let routed = "fn f(ctx: &Ctx) { ctx.pv.invlpg(va); }".to_string();
+        let diags = analyze_sources(&[("crates/app/src/x.rs".to_string(), routed)], &cfg);
+        assert!(diags.is_empty());
+    }
+}

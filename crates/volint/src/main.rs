@@ -1,0 +1,98 @@
+//! `cargo run -p volint` — check the Mercury workspace invariants.
+//!
+//! Usage: `volint [--json] [ROOT]`
+//!
+//! `ROOT` defaults to the workspace root (two levels above this
+//! crate's manifest when built by cargo, else the current directory).
+//! Exits 0 when no errors were found, 1 on violations, 2 on I/O
+//! failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use volint::{analyze_workspace, Config, Severity};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: volint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("volint: unknown option `{other}`");
+                eprintln!("usage: volint [--json] [ROOT]");
+                return ExitCode::from(2);
+            }
+            other => {
+                if let Some(prev) = &root {
+                    eprintln!(
+                        "volint: multiple roots given ({} and {other}); pass exactly one",
+                        prev.display()
+                    );
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let cfg = Config::mercury_defaults();
+    let diags = match analyze_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("volint: cannot read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("[");
+        for (i, d) in diags.iter().enumerate() {
+            let comma = if i + 1 == diags.len() { "" } else { "," };
+            println!("  {}{comma}", d.to_json());
+        }
+        println!("]");
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if json {
+        // machine mode: the array is the whole output
+    } else if errors == 0 {
+        println!(
+            "volint: workspace at {} is clean (0 violations)",
+            root.display()
+        );
+    } else {
+        eprintln!("volint: {errors} violation(s)");
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: `<manifest>/../..` when built under cargo
+/// (crates/volint -> workspace), else the current directory.
+fn default_root() -> PathBuf {
+    if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(ws) = p.parent().and_then(|p| p.parent()) {
+            if ws.join("Cargo.toml").exists() {
+                return ws.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}

@@ -1,0 +1,76 @@
+//! Extraction of the machine-readable privileged-op markers.
+//!
+//! `simx86` tags every privileged primitive with
+//! `#[doc(alias = "volint-privileged")]`.  This module recovers the
+//! marked function names from source text so the lint's privileged set
+//! can be derived from the hardware layer itself instead of a
+//! hand-maintained list (and so a registry/marker drift test can hold
+//! the two together).
+
+use crate::lexer::lex;
+
+/// The `#[doc(alias = ...)]` value marking a privileged primitive.
+pub const PRIVILEGED_ALIAS: &str = "volint-privileged";
+
+/// Return the names of all functions in `src` marked with
+/// `#[doc(alias = "volint-privileged")]`, in source order.
+pub fn scan(src: &str) -> Vec<String> {
+    let toks = lex(src);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let marked = toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("doc"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("alias"))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct('='))
+            && toks
+                .get(i + 6)
+                .and_then(|t| t.str_lit())
+                .is_some_and(|s| s == PRIVILEGED_ALIAS);
+        if marked {
+            // Skip forward (over visibility, other attributes, unsafe,
+            // const, ...) to the next `fn` and take its name.
+            let mut j = i + 7;
+            while j < toks.len() {
+                if toks[j].is_ident("fn") {
+                    if let Some(name) = toks.get(j + 1).and_then(|t| t.ident()) {
+                        out.push(name.to_string());
+                    }
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_marked_fns_and_skips_unmarked() {
+        let src = r#"
+            impl Cpu {
+                #[doc(alias = "volint-privileged")]
+                pub fn write_cr3(&self, v: u64) {}
+
+                pub fn cycles(&self) -> u64 { 0 }
+
+                /// Loads the IDT.
+                #[doc(alias = "volint-privileged")]
+                #[inline]
+                pub fn lidt(&self, base: u64) {}
+
+                #[doc(alias = "other")]
+                pub fn tick(&self, c: u64) {}
+            }
+        "#;
+        assert_eq!(scan(src), vec!["write_cr3", "lidt"]);
+    }
+}

@@ -1,0 +1,386 @@
+//! The four Mercury invariant rules.
+//!
+//! * **VO-BYPASS** — privileged `simx86` primitives reached outside a
+//!   `PvOps` impl or the allowlisted switch-handler/hardware layers
+//!   (paper §4.2/§5.3: every virtualization-sensitive operation routes
+//!   through a Virtualization Object).
+//! * **REFCOUNT-LEAK** — `VoRefCount::enter` guards that are forgotten,
+//!   immediately discarded, parked in long-lived structs, or held
+//!   across a call that blocks on a pending switch (paper §5.1.1: the
+//!   refcount gate is sound only if every entry pairs with an exit).
+//! * **DISPATCH-GAP** — a `PvOps` method missing from a VO impl, a
+//!   `Rendezvous` field `begin()` does not reset, or asymmetric
+//!   attach/detach/rollback state transfer (paper §5.1.2/§5.1.3).
+//! * **ATOMIC-ORDER** — `Ordering::Relaxed` on `Rendezvous` /
+//!   `VoRefCount` state (paper §5.4: the IPI handshake is only correct
+//!   under acquire/release ordering).
+
+use crate::scan::{FileFacts, LetBinding};
+use crate::{Config, Diagnostic, Rule, Severity};
+use std::collections::BTreeSet;
+
+/// Run every rule over the scanned files.
+pub fn check(files: &[FileFacts], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        vo_bypass(f, cfg, &mut out);
+        refcount_leak(f, cfg, &mut out);
+        atomic_order(f, &mut out);
+    }
+    dispatch_gap(files, cfg, &mut out);
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    out
+}
+
+/// Test-only source trees (integration tests, examples, benches) are
+/// exercised under `cfg(test)`-like conditions and may poke hardware.
+fn in_test_tree(name: &str) -> bool {
+    name.split('/')
+        .any(|c| c == "tests" || c == "examples" || c == "benches")
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    f: &FileFacts,
+    rule: Rule,
+    line: usize,
+    message: String,
+) {
+    if f.is_waived(rule.as_str(), line) {
+        return;
+    }
+    out.push(Diagnostic {
+        file: f.name.clone(),
+        line,
+        rule,
+        severity: Severity::Error,
+        message,
+    });
+}
+
+// ---------------------------------------------------------------- VO-BYPASS
+
+fn vo_bypass(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if in_test_tree(&f.name)
+        || cfg
+            .allow_paths
+            .iter()
+            .any(|p| f.name.starts_with(p.as_str()))
+    {
+        return;
+    }
+    for c in &f.calls {
+        if !cfg.privileged.contains(&c.name) || c.in_test {
+            continue;
+        }
+        // Sanctioned: the body of a PvOps impl *is* the VO.
+        if c.impl_trait.as_deref() == Some(cfg.pvops_trait.as_str()) {
+            continue;
+        }
+        // Sanctioned: routed through a PvOps dispatch handle
+        // (`ctx.pv.invlpg(..)`, `self.inner.flush_tlb(..)`).
+        if c.via_dot
+            && c.qualifier
+                .as_deref()
+                .is_some_and(|q| cfg.dispatch_receivers.contains(q))
+        {
+            continue;
+        }
+        push(
+            out,
+            f,
+            Rule::VoBypass,
+            c.line,
+            format!(
+                "privileged primitive `{}` called outside a `{}` impl; \
+                 route it through the active virtualization object",
+                c.name, cfg.pvops_trait
+            ),
+        );
+    }
+}
+
+// ------------------------------------------------------------ REFCOUNT-LEAK
+
+fn is_guard(l: &LetBinding) -> bool {
+    l.init_has_enter || l.type_has_voguard
+}
+
+fn refcount_leak(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if in_test_tree(&f.name) {
+        return;
+    }
+    let basename = f.name.rsplit('/').next().unwrap_or(&f.name);
+
+    // Immediately-discarded guards: `let _ = rc.enter()` bumps and
+    // drops the count in one statement — the caller runs unprotected.
+    for l in &f.lets {
+        if l.in_test || !l.init_has_enter {
+            continue;
+        }
+        if l.name == "_" {
+            push(
+                out,
+                f,
+                Rule::RefcountLeak,
+                l.line,
+                "`let _ = ..enter(..)` drops the VO guard immediately; \
+                 the section it was meant to protect runs ungated"
+                    .to_string(),
+            );
+        }
+    }
+
+    // Forgotten / leaked guards.
+    for c in &f.calls {
+        if c.in_test {
+            continue;
+        }
+        let forget_like = matches!(
+            (c.name.as_str(), c.qualifier.as_deref()),
+            ("forget", _) | ("new", Some("ManuallyDrop")) | ("leak", Some("Box"))
+        );
+        if !forget_like {
+            continue;
+        }
+        let guard_arg = c.args_have_enter
+            || f.lets.iter().any(|l| {
+                is_guard(l) && l.fn_idx == c.fn_idx && c.args.contains(&l.name)
+            });
+        if guard_arg {
+            push(
+                out,
+                f,
+                Rule::RefcountLeak,
+                c.line,
+                format!(
+                    "VO guard leaked via `{}`: the refcount never drops \
+                     back, so every future switch is deferred forever",
+                    c.name
+                ),
+            );
+        }
+    }
+
+    // Guards parked in long-lived structs outlive their section and
+    // starve `try_switch`'s quiescence gate.
+    for fd in &f.fields {
+        if fd.in_test || basename == "refcount.rs" {
+            continue;
+        }
+        if fd.type_idents.iter().any(|t| t == "VoGuard") {
+            push(
+                out,
+                f,
+                Rule::RefcountLeak,
+                fd.line,
+                format!(
+                    "struct `{}` stores a `VoGuard` in field `{}`; guards \
+                     must be scoped to the protected section, not parked \
+                     in long-lived state",
+                    fd.struct_name, fd.field_name
+                ),
+            );
+        }
+    }
+
+    // Re-entry deadlock: a held guard across a call that waits for the
+    // refcount (or the rendezvous) wedges the pending switch.
+    for l in &f.lets {
+        if l.in_test || !is_guard(l) || l.name == "_" {
+            continue;
+        }
+        for c in &f.calls {
+            if c.in_test || c.fn_idx != l.fn_idx || c.line < l.line {
+                continue;
+            }
+            if cfg.blocking_calls.contains(&c.name) {
+                push(
+                    out,
+                    f,
+                    Rule::RefcountLeak,
+                    c.line,
+                    format!(
+                        "`{}` called while VO guard `{}` (line {}) is \
+                         held; a pending switch waits for the refcount \
+                         and this call waits for the switch — deadlock",
+                        c.name, l.name, l.line
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- ATOMIC-ORDER
+
+fn atomic_order(f: &FileFacts, out: &mut Vec<Diagnostic>) {
+    let basename = f.name.rsplit('/').next().unwrap_or(&f.name);
+    let protected = f.defines_struct("Rendezvous")
+        || f.defines_struct("VoRefCount")
+        || basename == "rendezvous.rs"
+        || basename == "refcount.rs";
+    if !protected {
+        return;
+    }
+    for (line, _) in &f.relaxed {
+        push(
+            out,
+            f,
+            Rule::AtomicOrder,
+            *line,
+            "`Ordering::Relaxed` on rendezvous/refcount state: the IPI \
+             handshake requires acquire/release ordering (paper §5.4)"
+                .to_string(),
+        );
+    }
+}
+
+// ------------------------------------------------------------- DISPATCH-GAP
+
+fn dispatch_gap(files: &[FileFacts], cfg: &Config, out: &mut Vec<Diagnostic>) {
+    // 1. Every required PvOps method implemented by every VO.
+    let required: Vec<&str> = files
+        .iter()
+        .flat_map(|f| f.trait_methods.iter())
+        .filter(|m| m.trait_name == cfg.pvops_trait && !m.has_default)
+        .map(|m| m.method.as_str())
+        .collect();
+    if !required.is_empty() {
+        for f in files {
+            if in_test_tree(&f.name) {
+                continue;
+            }
+            for imp in &f.impls {
+                if imp.in_test || imp.trait_name.as_deref() != Some(cfg.pvops_trait.as_str()) {
+                    continue;
+                }
+                let have: BTreeSet<&str> = imp.methods.iter().map(String::as_str).collect();
+                let missing: Vec<&str> = required
+                    .iter()
+                    .filter(|m| !have.contains(**m))
+                    .copied()
+                    .collect();
+                if !missing.is_empty() {
+                    push(
+                        out,
+                        f,
+                        Rule::DispatchGap,
+                        imp.line,
+                        format!(
+                            "`impl {} for {}` is missing: {}",
+                            cfg.pvops_trait,
+                            imp.type_name,
+                            missing.join(", ")
+                        ),
+                    );
+                }
+            }
+        }
+        // All three canonical VOes must exist (only checked once at
+        // least one of them is present, so small fixtures stay quiet).
+        let present: BTreeSet<&str> = files
+            .iter()
+            .flat_map(|f| f.impls.iter())
+            .filter(|i| i.trait_name.as_deref() == Some(cfg.pvops_trait.as_str()))
+            .map(|i| i.type_name.as_str())
+            .collect();
+        if cfg.vo_impls.iter().any(|v| present.contains(v.as_str())) {
+            for vo in &cfg.vo_impls {
+                if !present.contains(vo.as_str()) {
+                    if let Some((f, line)) = files.iter().find_map(|f| {
+                        f.trait_methods
+                            .iter()
+                            .find(|m| m.trait_name == cfg.pvops_trait)
+                            .map(|m| (f, m.line))
+                    }) {
+                        push(
+                            out,
+                            f,
+                            Rule::DispatchGap,
+                            line,
+                            format!(
+                                "virtualization object `{vo}` has no \
+                                 `{}` impl",
+                                cfg.pvops_trait
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Every Rendezvous field reset by `begin()` — a stale field from
+    // the previous round corrupts the next handshake.
+    for f in files {
+        if !f.defines_struct("Rendezvous") {
+            continue;
+        }
+        let begin = f
+            .fns
+            .iter()
+            .find(|x| x.name == "begin" && x.impl_type.as_deref() == Some("Rendezvous"));
+        let Some(begin) = begin else { continue };
+        for fd in &f.fields {
+            if fd.struct_name == "Rendezvous"
+                && !fd.in_test
+                && !begin.idents.contains(&fd.field_name)
+            {
+                push(
+                    out,
+                    f,
+                    Rule::DispatchGap,
+                    fd.line,
+                    format!(
+                        "`Rendezvous` field `{}` is not touched by \
+                         `begin()`; stale state leaks into the next \
+                         rendezvous round",
+                        fd.field_name
+                    ),
+                );
+            }
+        }
+    }
+
+    // 3. State-transfer symmetry: attach/detach/rollback must each
+    // cover the table-frame flip, the selector fixup and the VMM
+    // activation toggle (paper §5.1.2/§5.1.3).
+    let symmetry: [(&str, &[&str]); 3] = [
+        ("attach_transfer", &["flip_table_frames", "fix_selectors", "activate"]),
+        ("detach_transfer", &["flip_table_frames", "fix_selectors", "deactivate"]),
+        (
+            "rollback_transfer",
+            &["flip_table_frames", "fix_selectors", "activate", "deactivate"],
+        ),
+    ];
+    for (fn_name, needs) in symmetry {
+        for f in files {
+            if in_test_tree(&f.name) {
+                continue;
+            }
+            for func in f.fns.iter().filter(|x| x.name == fn_name && !x.in_test) {
+                let missing: Vec<&str> = needs
+                    .iter()
+                    .filter(|n| !func.idents.contains(**n))
+                    .copied()
+                    .collect();
+                if !missing.is_empty() {
+                    push(
+                        out,
+                        f,
+                        Rule::DispatchGap,
+                        func.line,
+                        format!(
+                            "state-transfer fn `{fn_name}` does not cover: {}",
+                            missing.join(", ")
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,984 @@
+//! Structural scan: one pass over a token stream that recovers the
+//! item structure volint's rules need — calls (with receiver and
+//! argument identifiers), `let` bindings, struct fields, trait and impl
+//! method sets, per-function identifier sets, `#[cfg(test)]` scoping,
+//! `Ordering::Relaxed` uses and `volint::allow(...)` waiver comments.
+//!
+//! The scan is deliberately tolerant: unknown constructs fall through
+//! as plain blocks, and nothing here can panic on malformed input.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// A function or method call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (method or function identifier).
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Identifier immediately before the `.` or `::` qualifier, if any
+    /// (`cpu` in `cpu.write_cr3(..)`, `mem` in `mem::forget(..)`).
+    pub qualifier: Option<String>,
+    /// True for `recv.name(..)` method-call syntax.
+    pub via_dot: bool,
+    /// Identifiers appearing anywhere in the argument list.
+    pub args: Vec<String>,
+    /// The argument list contains an `.enter(` call.
+    pub args_have_enter: bool,
+    /// Trait name if the call is inside an `impl Trait for Type` block.
+    pub impl_trait: Option<String>,
+    /// Type name of the enclosing impl block, if any.
+    pub impl_type: Option<String>,
+    /// Index into [`FileFacts::fns`] of the enclosing function.
+    pub fn_idx: Option<usize>,
+    /// The call is inside `#[cfg(test)]` / `#[test]` scope.
+    pub in_test: bool,
+}
+
+/// A `let` binding.
+#[derive(Debug, Clone)]
+pub struct LetBinding {
+    /// Bound name (`"_"` for a wildcard discard).
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The initializer contains a `.enter(` call.
+    pub init_has_enter: bool,
+    /// The declared type mentions `VoGuard`.
+    pub type_has_voguard: bool,
+    /// Index into [`FileFacts::fns`] of the enclosing function.
+    pub fn_idx: Option<usize>,
+    /// Inside test scope.
+    pub in_test: bool,
+}
+
+/// A named-struct (or enum) field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Owning struct name.
+    pub struct_name: String,
+    /// Field name.
+    pub field_name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Identifiers in the field's type.
+    pub type_idents: Vec<String>,
+    /// Inside test scope.
+    pub in_test: bool,
+}
+
+/// A method declared by a trait.
+#[derive(Debug, Clone)]
+pub struct TraitMethod {
+    /// Trait name.
+    pub trait_name: String,
+    /// Method name.
+    pub method: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// The trait provides a default body.
+    pub has_default: bool,
+}
+
+/// An `impl` block and the methods it defines.
+#[derive(Debug, Clone)]
+pub struct ImplDef {
+    /// Trait being implemented, if a trait impl.
+    pub trait_name: Option<String>,
+    /// Implementing type.
+    pub type_name: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// Methods defined in the block.
+    pub methods: Vec<String>,
+    /// Inside test scope.
+    pub in_test: bool,
+}
+
+/// A function definition and its body's identifier set.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl type, if the fn is a method.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Every identifier appearing in the body.
+    pub idents: BTreeSet<String>,
+    /// Inside test scope (or itself `#[test]`).
+    pub in_test: bool,
+}
+
+/// A struct (or enum) definition.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// Everything volint knows about one source file.
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    /// Logical path (workspace-relative, `/`-separated).
+    pub name: String,
+    /// All call sites.
+    pub calls: Vec<CallSite>,
+    /// All `let` bindings.
+    pub lets: Vec<LetBinding>,
+    /// All named-struct fields.
+    pub fields: Vec<FieldDef>,
+    /// All trait method declarations.
+    pub trait_methods: Vec<TraitMethod>,
+    /// All impl blocks.
+    pub impls: Vec<ImplDef>,
+    /// All function definitions.
+    pub fns: Vec<FnInfo>,
+    /// All struct/enum definitions.
+    pub structs: Vec<StructDef>,
+    /// Lines with `Ordering::Relaxed` (line, in_test).
+    pub relaxed: Vec<(usize, bool)>,
+    /// `volint::allow(RULE, ...)` waivers: (line, rule names).
+    pub waivers: Vec<(usize, Vec<String>)>,
+}
+
+impl FileFacts {
+    /// Does this file define a struct or enum named `name`?
+    pub fn defines_struct(&self, name: &str) -> bool {
+        self.structs.iter().any(|s| s.name == name)
+    }
+
+    /// Is `rule` waived for a diagnostic on `line` (waiver on the same
+    /// line or the line directly above)?
+    pub fn is_waived(&self, rule: &str, line: usize) -> bool {
+        self.waivers.iter().any(|(wl, rules)| {
+            (*wl == line || *wl + 1 == line) && rules.iter().any(|r| r == rule || r == "*")
+        })
+    }
+}
+
+#[derive(Debug)]
+enum ScopeKind {
+    Mod,
+    Fn { idx: usize },
+    Struct { name: String },
+    Trait { name: String },
+    Impl { idx: usize },
+    Block,
+}
+
+#[derive(Debug)]
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth just inside this scope's `{`.
+    entry_depth: usize,
+    /// This scope (or an ancestor) is test-only.
+    test: bool,
+}
+
+/// Item header parsed but whose `{` has not been consumed yet.
+enum Pending {
+    Mod { test: bool },
+    Fn { idx: usize, test: bool },
+    Struct { name: String, test: bool },
+    Trait { name: String, test: bool },
+    Impl { idx: usize, test: bool },
+}
+
+/// Scan `src`, producing facts under the logical path `name`.
+pub fn scan_file(name: &str, src: &str) -> FileFacts {
+    let mut facts = FileFacts {
+        name: name.to_string(),
+        ..FileFacts::default()
+    };
+    collect_waivers(src, &mut facts);
+    let toks = lex(src);
+    Scanner {
+        toks: &toks,
+        facts: &mut facts,
+        stack: Vec::new(),
+        depth: 0,
+        pending: None,
+        attrs: Vec::new(),
+    }
+    .run();
+    facts
+}
+
+/// Pull `volint::allow(RULE, ...)` waivers out of the raw source (they
+/// live in comments, which the lexer strips).
+fn collect_waivers(src: &str, facts: &mut FileFacts) {
+    for (i, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("volint::allow(") {
+            let rest = &line[pos + "volint::allow(".len()..];
+            if let Some(end) = rest.find(')') {
+                let rules: Vec<String> = rest[..end]
+                    .split(',')
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                if !rules.is_empty() {
+                    facts.waivers.push((i + 1, rules));
+                }
+            }
+        }
+    }
+}
+
+struct Scanner<'a> {
+    toks: &'a [Token],
+    facts: &'a mut FileFacts,
+    stack: Vec<Scope>,
+    depth: usize,
+    pending: Option<Pending>,
+    attrs: Vec<String>,
+}
+
+impl<'a> Scanner<'a> {
+    fn run(mut self) {
+        let mut i = 0;
+        while i < self.toks.len() {
+            i = self.step(i);
+        }
+    }
+
+    fn inherited_test(&self) -> bool {
+        self.stack.iter().any(|s| s.test)
+    }
+
+    fn attrs_mark_test(&self) -> bool {
+        self.attrs
+            .iter()
+            .any(|a| a == "test" || (a.starts_with("cfg") && a.contains("test")))
+    }
+
+    fn innermost_fn(&self) -> Option<usize> {
+        self.stack.iter().rev().find_map(|s| match s.kind {
+            ScopeKind::Fn { idx } => Some(idx),
+            _ => None,
+        })
+    }
+
+    fn innermost_impl(&self) -> Option<usize> {
+        self.stack.iter().rev().find_map(|s| match s.kind {
+            ScopeKind::Impl { idx } => Some(idx),
+            _ => None,
+        })
+    }
+
+    fn innermost_trait(&self) -> Option<&str> {
+        self.stack.iter().rev().find_map(|s| match &s.kind {
+            ScopeKind::Trait { name } => Some(name.as_str()),
+            _ => None,
+        })
+    }
+
+    fn innermost_struct(&self) -> Option<(&str, usize)> {
+        self.stack.iter().rev().find_map(|s| match &s.kind {
+            ScopeKind::Struct { name } => Some((name.as_str(), s.entry_depth)),
+            _ => None,
+        })
+    }
+
+    /// Process the token at `i`; return the next index.
+    fn step(&mut self, i: usize) -> usize {
+        let t = &self.toks[i];
+        match &t.kind {
+            TokenKind::Punct('#') => self.scan_attr(i),
+            TokenKind::Punct('{') => {
+                self.depth += 1;
+                let inherited = self.inherited_test();
+                let scope = match self.pending.take() {
+                    Some(Pending::Mod { test }) => Scope {
+                        kind: ScopeKind::Mod,
+                        entry_depth: self.depth,
+                        test: test || inherited,
+                    },
+                    Some(Pending::Fn { idx, test }) => Scope {
+                        kind: ScopeKind::Fn { idx },
+                        entry_depth: self.depth,
+                        test: test || inherited,
+                    },
+                    Some(Pending::Struct { name, test }) => Scope {
+                        kind: ScopeKind::Struct { name },
+                        entry_depth: self.depth,
+                        test: test || inherited,
+                    },
+                    Some(Pending::Trait { name, test }) => Scope {
+                        kind: ScopeKind::Trait { name },
+                        entry_depth: self.depth,
+                        test: test || inherited,
+                    },
+                    Some(Pending::Impl { idx, test }) => Scope {
+                        kind: ScopeKind::Impl { idx },
+                        entry_depth: self.depth,
+                        test: test || inherited,
+                    },
+                    None => Scope {
+                        kind: ScopeKind::Block,
+                        entry_depth: self.depth,
+                        test: inherited,
+                    },
+                };
+                self.stack.push(scope);
+                i + 1
+            }
+            TokenKind::Punct('}') => {
+                self.depth = self.depth.saturating_sub(1);
+                self.stack.pop();
+                i + 1
+            }
+            TokenKind::Punct(';') => {
+                self.attrs.clear();
+                i + 1
+            }
+            TokenKind::Ident(id) => match id.as_str() {
+                "mod" => self.scan_mod(i),
+                "fn" => self.scan_fn(i),
+                "impl" => self.scan_impl(i),
+                "trait" => self.scan_trait(i),
+                "struct" | "enum" | "union" => self.scan_struct(i),
+                "let" => self.scan_let(i),
+                "use" => {
+                    self.attrs.clear();
+                    i + 1
+                }
+                _ => self.scan_expr_ident(i),
+            },
+            _ => i + 1,
+        }
+    }
+
+    /// `#[...]` or `#![...]`: collect outer attrs, skip inner ones.
+    fn scan_attr(&mut self, i: usize) -> usize {
+        let mut j = i + 1;
+        let inner = self.toks.get(j).is_some_and(|t| t.is_punct('!'));
+        if inner {
+            j += 1;
+        }
+        if !self.toks.get(j).is_some_and(|t| t.is_punct('[')) {
+            return i + 1; // stray `#`
+        }
+        let mut bdepth = 0usize;
+        let mut text = String::new();
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            match &t.kind {
+                TokenKind::Punct('[') => bdepth += 1,
+                TokenKind::Punct(']') => {
+                    bdepth -= 1;
+                    if bdepth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                TokenKind::Ident(s) => {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(s);
+                }
+                TokenKind::Str(s) => {
+                    text.push(' ');
+                    text.push_str(s);
+                }
+                TokenKind::Punct(c) => text.push(*c),
+                _ => {}
+            }
+            j += 1;
+        }
+        if !inner {
+            self.attrs.push(text);
+        }
+        j
+    }
+
+    fn scan_mod(&mut self, i: usize) -> usize {
+        let test = self.attrs_mark_test();
+        self.attrs.clear();
+        // `mod name ;` or `mod name {`
+        let mut j = i + 1;
+        while j < self.toks.len() && !self.toks[j].is_punct('{') && !self.toks[j].is_punct(';') {
+            j += 1;
+        }
+        if self.toks.get(j).is_some_and(|t| t.is_punct('{')) {
+            self.pending = Some(Pending::Mod { test });
+            j // let the `{` branch push the scope
+        } else {
+            j + 1
+        }
+    }
+
+    /// Parse a `fn` item from the `fn` keyword: returns the index to
+    /// resume at.  Registers trait/impl membership and, if the fn has a
+    /// body, leaves a pending Fn scope for the `{` branch.
+    fn scan_fn(&mut self, i: usize) -> usize {
+        let test = self.attrs_mark_test() || self.inherited_test();
+        self.attrs.clear();
+        let name = match self.toks.get(i + 1).and_then(|t| t.ident()) {
+            Some(n) => n.to_string(),
+            None => return i + 1,
+        };
+        let line = self.toks[i].line;
+        // Walk the header to the body `{` or declaration `;`.
+        let mut j = i + 2;
+        let mut paren = 0usize;
+        let mut bracket = 0usize;
+        let mut angle = 0usize;
+        let mut body = None;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            match &t.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                TokenKind::Punct('[') => bracket += 1,
+                TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => {
+                    let arrow = j > 0 && self.toks[j - 1].is_punct('-');
+                    if !arrow {
+                        angle = angle.saturating_sub(1);
+                    }
+                }
+                TokenKind::Punct('{') if paren == 0 && bracket == 0 => {
+                    body = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') if paren == 0 && bracket == 0 && angle == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+
+        let impl_type = self
+            .innermost_impl()
+            .map(|idx| self.facts.impls[idx].type_name.clone());
+        if let Some(trait_name) = self.innermost_trait().map(String::from) {
+            self.facts.trait_methods.push(TraitMethod {
+                trait_name,
+                method: name.clone(),
+                line,
+                has_default: body.is_some(),
+            });
+        }
+        if let Some(idx) = self.innermost_impl() {
+            self.facts.impls[idx].methods.push(name.clone());
+        }
+
+        match body {
+            Some(b) => {
+                let idx = self.facts.fns.len();
+                self.facts.fns.push(FnInfo {
+                    name,
+                    impl_type,
+                    line,
+                    idents: BTreeSet::new(),
+                    in_test: test,
+                });
+                self.pending = Some(Pending::Fn { idx, test });
+                b
+            }
+            None => j + 1,
+        }
+    }
+
+    fn scan_impl(&mut self, i: usize) -> usize {
+        let test = self.attrs_mark_test();
+        self.attrs.clear();
+        let line = self.toks[i].line;
+        let mut j = i + 1;
+        let mut angle = 0usize;
+        let mut first_part: Vec<String> = Vec::new();
+        let mut second_part: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        let mut in_where = false;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            match &t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => {
+                    let arrow = j > 0 && self.toks[j - 1].is_punct('-');
+                    if !arrow {
+                        angle = angle.saturating_sub(1);
+                    }
+                }
+                TokenKind::Punct('{') => break,
+                TokenKind::Ident(s) if angle == 0 => match s.as_str() {
+                    "for" => saw_for = true,
+                    "where" => in_where = true,
+                    "dyn" | "mut" | "const" | "unsafe" => {}
+                    _ if !in_where => {
+                        if saw_for {
+                            second_part.push(s.clone());
+                        } else {
+                            first_part.push(s.clone());
+                        }
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            j += 1;
+        }
+        let (trait_name, type_name) = if saw_for {
+            (first_part.last().cloned(), second_part.last().cloned())
+        } else {
+            (None, first_part.last().cloned())
+        };
+        let idx = self.facts.impls.len();
+        self.facts.impls.push(ImplDef {
+            trait_name,
+            type_name: type_name.unwrap_or_default(),
+            line,
+            methods: Vec::new(),
+            in_test: test || self.inherited_test(),
+        });
+        self.pending = Some(Pending::Impl { idx, test });
+        j
+    }
+
+    fn scan_trait(&mut self, i: usize) -> usize {
+        let test = self.attrs_mark_test();
+        self.attrs.clear();
+        let name = self
+            .toks
+            .get(i + 1)
+            .and_then(|t| t.ident())
+            .unwrap_or("")
+            .to_string();
+        let mut j = i + 1;
+        while j < self.toks.len() && !self.toks[j].is_punct('{') && !self.toks[j].is_punct(';') {
+            j += 1;
+        }
+        if self.toks.get(j).is_some_and(|t| t.is_punct('{')) {
+            self.pending = Some(Pending::Trait { name, test });
+            j
+        } else {
+            j + 1
+        }
+    }
+
+    fn scan_struct(&mut self, i: usize) -> usize {
+        let test = self.attrs_mark_test();
+        self.attrs.clear();
+        let name = match self.toks.get(i + 1).and_then(|t| t.ident()) {
+            Some(n) => n.to_string(),
+            None => return i + 1,
+        };
+        let line = self.toks[i].line;
+        self.facts.structs.push(StructDef {
+            name: name.clone(),
+            line,
+        });
+        // Skip generics/parens to the body `{` or terminating `;`.
+        let mut j = i + 2;
+        let mut paren = 0usize;
+        let mut angle = 0usize;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            match &t.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle = angle.saturating_sub(1),
+                TokenKind::Punct('{') if paren == 0 => {
+                    self.pending = Some(Pending::Struct { name, test });
+                    return j;
+                }
+                TokenKind::Punct(';') if paren == 0 && angle == 0 => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Lookahead over a `let` statement; records the binding but does
+    /// not consume tokens (the initializer is re-walked for calls).
+    fn scan_let(&mut self, i: usize) -> usize {
+        self.attrs.clear();
+        let line = self.toks[i].line;
+        let mut j = i + 1;
+        if self.toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let name = match self.toks.get(j).and_then(|t| t.ident()) {
+            Some(n) => n.to_string(),
+            None => return i + 1, // tuple/struct pattern: not tracked
+        };
+        j += 1;
+        // Optional `: Type`
+        let mut type_has_voguard = false;
+        if self.toks.get(j).is_some_and(|t| t.is_punct(':'))
+            && !self.toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            j += 1;
+            while j < self.toks.len() {
+                let t = &self.toks[j];
+                if t.is_punct('=') || t.is_punct(';') {
+                    break;
+                }
+                if t.is_ident("VoGuard") {
+                    type_has_voguard = true;
+                }
+                j += 1;
+            }
+        }
+        // Initializer until `;` at balanced depth.
+        let mut init_has_enter = false;
+        if self.toks.get(j).is_some_and(|t| t.is_punct('=')) {
+            j += 1;
+            let mut paren = 0usize;
+            let mut bracket = 0usize;
+            let mut brace = 0usize;
+            let mut steps = 0;
+            while j < self.toks.len() && steps < 4096 {
+                let t = &self.toks[j];
+                match &t.kind {
+                    TokenKind::Punct('(') => paren += 1,
+                    TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                    TokenKind::Punct('[') => bracket += 1,
+                    TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+                    TokenKind::Punct('{') => brace += 1,
+                    TokenKind::Punct('}') => {
+                        if brace == 0 {
+                            break; // malformed; bail out of the lookahead
+                        }
+                        brace -= 1;
+                    }
+                    TokenKind::Punct(';') if paren == 0 && bracket == 0 && brace == 0 => break,
+                    TokenKind::Ident(s)
+                        if s == "enter"
+                            && j > 0
+                            && self.toks[j - 1].is_punct('.')
+                            && self.toks.get(j + 1).is_some_and(|t| t.is_punct('(')) =>
+                    {
+                        init_has_enter = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+                steps += 1;
+            }
+        }
+        self.facts.lets.push(LetBinding {
+            name,
+            line,
+            init_has_enter,
+            type_has_voguard,
+            fn_idx: self.innermost_fn(),
+            in_test: self.inherited_test(),
+        });
+        i + 1
+    }
+
+    /// A plain identifier in expression/field position.
+    fn scan_expr_ident(&mut self, i: usize) -> usize {
+        let id = self.toks[i].ident().unwrap().to_string();
+        let line = self.toks[i].line;
+
+        // Accumulate into the innermost function's ident set.
+        if let Some(idx) = self.innermost_fn() {
+            self.facts.fns[idx].idents.insert(id.clone());
+        }
+
+        // `Ordering::Relaxed`
+        if id == "Relaxed"
+            && i >= 3
+            && self.toks[i - 1].is_punct(':')
+            && self.toks[i - 2].is_punct(':')
+            && self.toks[i - 3].is_ident("Ordering")
+        {
+            self.facts.relaxed.push((line, self.inherited_test()));
+        }
+
+        // Struct field: `name :` directly inside a struct body.
+        if let Some((sname, entry_depth)) = self.innermost_struct() {
+            if self.depth == entry_depth
+                && self.toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && !self.toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                let struct_name = sname.to_string();
+                let mut type_idents = Vec::new();
+                let mut j = i + 2;
+                let mut angle = 0usize;
+                let mut paren = 0usize;
+                while j < self.toks.len() {
+                    let t = &self.toks[j];
+                    match &t.kind {
+                        TokenKind::Punct('<') => angle += 1,
+                        TokenKind::Punct('>') => angle = angle.saturating_sub(1),
+                        TokenKind::Punct('(') => paren += 1,
+                        TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                        TokenKind::Punct(',') if angle == 0 && paren == 0 => break,
+                        TokenKind::Punct('}') => break,
+                        TokenKind::Ident(s) => type_idents.push(s.clone()),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let in_test = self.inherited_test();
+                self.facts.fields.push(FieldDef {
+                    struct_name,
+                    field_name: id.clone(),
+                    line,
+                    type_idents,
+                    in_test,
+                });
+            }
+        }
+
+        // Call site: `ident (`.
+        if self.toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            let (qualifier, via_dot) = self.call_qualifier(i);
+            let (args, args_have_enter) = self.call_args(i + 1);
+            let (impl_trait, impl_type) = match self.innermost_impl() {
+                Some(idx) => (
+                    self.facts.impls[idx].trait_name.clone(),
+                    Some(self.facts.impls[idx].type_name.clone()),
+                ),
+                None => (None, None),
+            };
+            self.facts.calls.push(CallSite {
+                name: id,
+                line,
+                qualifier,
+                via_dot,
+                args,
+                args_have_enter,
+                impl_trait,
+                impl_type,
+                fn_idx: self.innermost_fn(),
+                in_test: self.inherited_test(),
+            });
+        }
+        i + 1
+    }
+
+    /// The receiver/path qualifier of a call whose name is at `i`.
+    fn call_qualifier(&self, i: usize) -> (Option<String>, bool) {
+        if i >= 1 && self.toks[i - 1].is_punct('.') {
+            let q = if i >= 2 {
+                match &self.toks[i - 2].kind {
+                    TokenKind::Ident(s) => Some(s.clone()),
+                    // `self.pv().invlpg(..)`: walk back through the
+                    // call's parens to the function name.
+                    TokenKind::Punct(')') => {
+                        let mut depth = 0usize;
+                        let mut k = i - 2;
+                        loop {
+                            match &self.toks[k].kind {
+                                TokenKind::Punct(')') => depth += 1,
+                                TokenKind::Punct('(') => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            if k == 0 {
+                                break;
+                            }
+                            k -= 1;
+                        }
+                        if k > 0 {
+                            self.toks[k - 1].ident().map(String::from)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            (q, true)
+        } else if i >= 2 && self.toks[i - 1].is_punct(':') && self.toks[i - 2].is_punct(':') {
+            let q = if i >= 3 {
+                self.toks[i - 3].ident().map(String::from)
+            } else {
+                None
+            };
+            (q, false)
+        } else {
+            (None, false)
+        }
+    }
+
+    /// Identifiers inside the argument list opening at `open` (a `(`).
+    fn call_args(&self, open: usize) -> (Vec<String>, bool) {
+        let mut args = Vec::new();
+        let mut has_enter = false;
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            match &t.kind {
+                TokenKind::Punct('(') => depth += 1,
+                TokenKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s) => {
+                    if s == "enter"
+                        && self.toks[j - 1].is_punct('.')
+                        && self.toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+                    {
+                        has_enter = true;
+                    }
+                    args.push(s.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        (args, has_enter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calls_carry_receiver_and_impl_context() {
+        let src = r#"
+            impl PvOps for BareOps {
+                fn load_base_table(&self, cpu: &Arc<Cpu>) -> Result<(), E> {
+                    cpu.write_cr3(pgd.0)?;
+                    Ok(())
+                }
+            }
+            fn free() { machine.mem.write_pte(cpu, t, 0, v); }
+        "#;
+        let f = scan_file("x.rs", src);
+        let wc = f.calls.iter().find(|c| c.name == "write_cr3").unwrap();
+        assert_eq!(wc.qualifier.as_deref(), Some("cpu"));
+        assert!(wc.via_dot);
+        assert_eq!(wc.impl_trait.as_deref(), Some("PvOps"));
+        assert_eq!(wc.impl_type.as_deref(), Some("BareOps"));
+        let wp = f.calls.iter().find(|c| c.name == "write_pte").unwrap();
+        assert_eq!(wp.qualifier.as_deref(), Some("mem"));
+        assert!(wp.impl_trait.is_none());
+    }
+
+    #[test]
+    fn cfg_test_scopes_mark_calls() {
+        let src = r#"
+            fn prod() { cpu.lidt(t); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { cpu.lidt(t); }
+                #[test]
+                fn case() { cpu.lgdt(g); }
+            }
+        "#;
+        let f = scan_file("x.rs", src);
+        let prod = f.calls.iter().find(|c| c.name == "lidt" && !c.in_test);
+        assert!(prod.is_some());
+        assert!(f
+            .calls
+            .iter()
+            .filter(|c| c.name == "lidt")
+            .any(|c| c.in_test));
+        assert!(f.calls.iter().find(|c| c.name == "lgdt").unwrap().in_test);
+    }
+
+    #[test]
+    fn trait_and_impl_method_sets() {
+        let src = r#"
+            pub trait PvOps {
+                fn mode(&self) -> ExecMode;
+                fn name(&self) -> &'static str { "x" }
+                fn set_pte(&self, t: F, i: usize, v: P) -> Result<(), E>;
+            }
+            impl PvOps for BareOps {
+                fn mode(&self) -> ExecMode { ExecMode::Native }
+                fn set_pte(&self, t: F, i: usize, v: P) -> Result<(), E> { Ok(()) }
+            }
+        "#;
+        let f = scan_file("x.rs", src);
+        let req: Vec<_> = f
+            .trait_methods
+            .iter()
+            .filter(|m| !m.has_default)
+            .map(|m| m.method.as_str())
+            .collect();
+        assert_eq!(req, vec!["mode", "set_pte"]);
+        let imp = f.impls.iter().find(|i| i.type_name == "BareOps").unwrap();
+        assert_eq!(imp.trait_name.as_deref(), Some("PvOps"));
+        assert_eq!(imp.methods, vec!["mode", "set_pte"]);
+    }
+
+    #[test]
+    fn struct_fields_and_guard_lets() {
+        let src = r#"
+            struct Holder { guard: Option<VoGuard>, n: usize }
+            fn f(rc: &Arc<VoRefCount>) {
+                let g = rc.enter();
+                let _ = rc.enter();
+                let h: VoGuard = make();
+                drop(g);
+            }
+        "#;
+        let f = scan_file("x.rs", src);
+        let fd = f.fields.iter().find(|x| x.field_name == "guard").unwrap();
+        assert!(fd.type_idents.iter().any(|t| t == "VoGuard"));
+        assert_eq!(f.fields.len(), 2);
+        let g = f.lets.iter().find(|l| l.name == "g").unwrap();
+        assert!(g.init_has_enter);
+        let anon = f.lets.iter().find(|l| l.name == "_").unwrap();
+        assert!(anon.init_has_enter);
+        let h = f.lets.iter().find(|l| l.name == "h").unwrap();
+        assert!(h.type_has_voguard);
+    }
+
+    #[test]
+    fn fn_ident_sets_cover_bodies() {
+        let src = r#"
+            impl Rendezvous {
+                pub fn begin(&self) -> Result<(), E> {
+                    self.ready.store(0, Ordering::Release);
+                    self.go.store(false, Ordering::Release);
+                    Ok(())
+                }
+            }
+        "#;
+        let f = scan_file("x.rs", src);
+        let begin = f.fns.iter().find(|x| x.name == "begin").unwrap();
+        assert_eq!(begin.impl_type.as_deref(), Some("Rendezvous"));
+        assert!(begin.idents.contains("ready"));
+        assert!(begin.idents.contains("go"));
+        assert!(!begin.idents.contains("done"));
+    }
+
+    #[test]
+    fn relaxed_orderings_and_waivers() {
+        let src = "fn f(x: &AtomicUsize) {\n    // volint::allow(ATOMIC-ORDER): stats only\n    x.load(Ordering::Relaxed);\n    x.store(1, Ordering::Relaxed);\n}\n";
+        let f = scan_file("x.rs", src);
+        assert_eq!(f.relaxed.len(), 2);
+        assert!(f.is_waived("ATOMIC-ORDER", 3));
+        assert!(!f.is_waived("ATOMIC-ORDER", 4));
+        assert!(!f.is_waived("VO-BYPASS", 3));
+    }
+
+    #[test]
+    fn fn_returning_impl_trait_is_not_an_impl_block() {
+        let src = r#"
+            fn make() -> impl Iterator<Item = u8> { [1u8].into_iter() }
+            fn after() { cpu.write_cr3(0); }
+        "#;
+        let f = scan_file("x.rs", src);
+        let c = f.calls.iter().find(|c| c.name == "write_cr3").unwrap();
+        assert!(c.impl_trait.is_none());
+        assert_eq!(f.impls.len(), 0);
+    }
+}

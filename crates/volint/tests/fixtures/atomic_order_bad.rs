@@ -1,0 +1,24 @@
+// Known-bad fixture: Relaxed atomics on refcount/rendezvous state.
+
+pub struct VoRefCount {
+    count: AtomicUsize,
+}
+
+impl VoRefCount {
+    pub fn enter(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed); //~ ATOMIC-ORDER
+    }
+
+    pub fn exit(&self) {
+        self.count.fetch_sub(1, Ordering::Relaxed); //~ ATOMIC-ORDER
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.count.load(Ordering::Relaxed) == 0 //~ ATOMIC-ORDER
+    }
+
+    pub fn current(&self) -> usize {
+        // Correct ordering: not flagged.
+        self.count.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,34 @@
+// Known-good fixture: everything routes through the VO layer, guards
+// are balanced, orderings are acquire/release.  volint must report
+// nothing here.
+
+pub struct Driver {
+    pv: Arc<dyn PvOps>,
+}
+
+impl Driver {
+    pub fn map(&self, cpu: &Arc<Cpu>, t: FrameNum, i: usize, v: Pte) -> Result<(), Fault> {
+        self.pv.set_pte(cpu, t, i, v)?;
+        self.pv.invlpg(cpu, VirtAddr::from_parts(t.0 as usize, i));
+        Ok(())
+    }
+}
+
+pub fn guarded_work(rc: &Arc<VoRefCount>) -> usize {
+    let g = rc.enter();
+    let n = rc.current();
+    drop(g);
+    n
+}
+
+pub struct Counter {
+    hits: AtomicUsize,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        // Relaxed is fine here: this file defines no rendezvous or
+        // refcount state, just a stats counter.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

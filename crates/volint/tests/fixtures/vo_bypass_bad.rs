@@ -1,0 +1,44 @@
+// Known-bad fixture: privileged primitives reached outside a VO.
+// Tilde-comment markers flag the lines volint must report.
+
+pub fn sneaky_remap(cpu: &Arc<Cpu>, mem: &Mem, t: FrameNum, v: Pte) -> Result<(), Fault> {
+    cpu.write_cr3(v.0); //~ VO-BYPASS
+    mem.write_pte(cpu, t, 0, v)?; //~ VO-BYPASS
+    cpu.lidt(0xdead_beef); //~ VO-BYPASS
+    Ok(())
+}
+
+pub fn masks_interrupts(cpu: &Arc<Cpu>) {
+    cpu.cli(); //~ VO-BYPASS
+    cpu.sti(); //~ VO-BYPASS
+}
+
+// Inside a PvOps impl the primitive *is* the VO: not flagged.
+struct BareOps;
+impl PvOps for BareOps {
+    fn load_base_table(&self, cpu: &Arc<Cpu>, pgd: FrameNum) -> Result<(), Fault> {
+        cpu.write_cr3(pgd.0 as u64);
+        Ok(())
+    }
+}
+
+// Routed through the dispatch handle: not flagged.
+pub fn routed(ctx: &Ctx, va: VirtAddr) -> Result<(), Fault> {
+    ctx.pv.invlpg(ctx.cpu, va)
+}
+
+// Explicitly waived: not flagged.
+pub fn sanctioned(cpu: &Arc<Cpu>) {
+    // volint::allow(VO-BYPASS): fixture-sanctioned bootstrap
+    cpu.set_pl_raw(PrivLevel::Pl0);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may poke hardware directly: not flagged.
+    #[test]
+    fn pokes_hardware() {
+        let cpu = rig();
+        cpu.lgdt(0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Decompose §7.4's mode-switch cost into its §5.1 phases.
+//!
+//! Runs the same warmed uniprocessor M-N system as the `mode_switch`
+//! binary, but with the merctrace probes armed around every switch, and
+//! reports where the cycles of an attach and a detach actually go:
+//! state transfer (page-table writability flips, selector fixups, frame
+//! accounting), per-CPU hardware reload, and the VO pointer swap.
+//!
+//! Emits three artifacts next to `bench_results.json`:
+//!
+//! * a markdown per-phase table on stdout (pasted into EXPERIMENTS.md §7.3),
+//! * `switch_timeline.json` — the same breakdown, machine-readable,
+//! * `switch_timeline.trace.json` — a Chrome `trace_event` file of the
+//!   last attach/detach pair (open in `about:tracing` / Perfetto).
+//!
+//! The sum of the phases is checked against the end-to-end switch cost:
+//! the binary exits non-zero if they disagree by more than 1%, so the
+//! decomposition cannot silently drift from the headline number.
+
+use mercury::SwitchOutcome;
+use mercury_workloads::configs::{SysKind, TestBed};
+use simx86::costs::{cycles_to_us, CYCLES_PER_US};
+use std::collections::BTreeMap;
+
+const SAMPLES: u32 = 20;
+
+/// Phase probes in timeline order, per direction.
+const ATTACH_PHASES: &[&str] = &[
+    "switch.transfer.flip_tables",
+    "switch.transfer.fix_selectors",
+    "switch.transfer.pginfo_recompute",
+    "switch.transfer.trap_table",
+    "switch.reload_cpu",
+    "switch.vo_swap",
+];
+const DETACH_PHASES: &[&str] = &[
+    "switch.transfer.pginfo_clear",
+    "switch.transfer.flip_tables",
+    "switch.transfer.fix_selectors",
+    "switch.reload_cpu",
+    "switch.vo_swap",
+];
+
+/// Accumulated per-phase cycles for one switch direction.
+struct Breakdown {
+    /// Direction label (`attach` / `detach`).
+    label: &'static str,
+    /// Phase probe names in timeline order.
+    phases: &'static [&'static str],
+    /// Total cycles per phase across all samples.
+    cycles: BTreeMap<&'static str, u64>,
+    /// Total end-to-end cycles ([`SwitchOutcome::Completed`]).
+    total: u64,
+    /// Samples taken.
+    samples: u32,
+}
+
+impl Breakdown {
+    fn new(label: &'static str, phases: &'static [&'static str]) -> Breakdown {
+        Breakdown {
+            label,
+            phases,
+            cycles: BTreeMap::new(),
+            total: 0,
+            samples: 0,
+        }
+    }
+
+    fn add(&mut self, snap: &merctrace::Snapshot, end_to_end: u64) {
+        let spans = snap.span_cycles();
+        for (name, cy) in spans {
+            if self.phases.contains(&name) {
+                *self.cycles.entry(name).or_insert(0) += cy;
+            }
+        }
+        self.total += end_to_end;
+        self.samples += 1;
+    }
+
+    fn phase_mean_us(&self, phase: &str) -> f64 {
+        cycles_to_us(*self.cycles.get(phase).unwrap_or(&0)) / self.samples as f64
+    }
+
+    fn sum_us(&self) -> f64 {
+        self.phases.iter().map(|p| self.phase_mean_us(p)).sum()
+    }
+
+    fn total_us(&self) -> f64 {
+        cycles_to_us(self.total) / self.samples as f64
+    }
+
+    fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "| phase ({}) | mean µs | share |\n|---|---:|---:|\n",
+            self.label
+        ));
+        let total = self.total_us();
+        for p in self.phases {
+            let us = self.phase_mean_us(p);
+            out.push_str(&format!(
+                "| `{}` | {:.2} | {:.1}% |\n",
+                p,
+                us,
+                100.0 * us / total
+            ));
+        }
+        out.push_str(&format!(
+            "| **sum of phases** | **{:.2}** | {:.1}% |\n",
+            self.sum_us(),
+            100.0 * self.sum_us() / total
+        ));
+        out.push_str(&format!("| **end to end** | **{total:.2}** | 100.0% |\n"));
+        out
+    }
+
+    fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  \"{}\": {{\n    \"samples\": {},\n    \"end_to_end_us\": {:.5},\n    \"phase_sum_us\": {:.5},\n    \"phases_us\": {{\n",
+            self.label,
+            self.samples,
+            self.total_us(),
+            self.sum_us()
+        ));
+        let rows: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| format!("      \"{}\": {:.5}", p, self.phase_mean_us(p)))
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n    }\n  }");
+        out
+    }
+}
+
+fn main() {
+    assert!(
+        merctrace::ENABLED,
+        "switch_timeline needs the merctrace probes compiled in"
+    );
+    merctrace::init(merctrace::DEFAULT_RING_CAPACITY);
+
+    // Same warmed system as `mode_switch`: one CPU, real processes and
+    // page tables so the transfer functions have work to do.
+    let bed = TestBed::build(SysKind::MN, 1);
+    let mercury = bed.mercury.as_ref().expect("M-N testbed has mercury");
+    let cpu = bed.machine.boot_cpu();
+    let sess = nimbus::Session::new(std::sync::Arc::clone(mercury.kernel()), 0);
+    sess.exec("lat_proc").expect("exec");
+    let va = sess
+        .mmap(128, nimbus::mm::Prot::RW, nimbus::kernel::MmapBacking::Anon)
+        .expect("mmap");
+    for p in 0..128u64 {
+        sess.poke(simx86::VirtAddr(va.0 + p * 4096), p)
+            .expect("touch");
+    }
+
+    let mut attach = Breakdown::new("attach", ATTACH_PHASES);
+    let mut detach = Breakdown::new("detach", DETACH_PHASES);
+    let mut last_traces = (String::new(), String::new());
+    for _ in 0..SAMPLES {
+        merctrace::reset();
+        merctrace::arm();
+        let SwitchOutcome::Completed { cycles } = mercury.switch_to_virtual(cpu).expect("attach")
+        else {
+            panic!("attach did not complete")
+        };
+        merctrace::disarm();
+        let snap = merctrace::snapshot();
+        assert_eq!(snap.total_dropped(), 0, "trace ring overflowed");
+        attach.add(&snap, cycles);
+        last_traces.0 = merctrace::export::chrome_trace(&snap, CYCLES_PER_US);
+
+        merctrace::reset();
+        merctrace::arm();
+        let SwitchOutcome::Completed { cycles } = mercury.switch_to_native(cpu).expect("detach")
+        else {
+            panic!("detach did not complete")
+        };
+        merctrace::disarm();
+        let snap = merctrace::snapshot();
+        assert_eq!(snap.total_dropped(), 0, "trace ring overflowed");
+        detach.add(&snap, cycles);
+        last_traces.1 = merctrace::export::chrome_trace(&snap, CYCLES_PER_US);
+    }
+
+    println!("Mode-switch timeline (strategy: recompute-on-switch, {SAMPLES} samples)\n");
+    println!("{}", attach.markdown());
+    println!("{}", detach.markdown());
+
+    let json = format!(
+        "{{\n{},\n{}\n}}\n",
+        attach.json(),
+        detach.json()
+    );
+    std::fs::write("switch_timeline.json", &json).expect("write switch_timeline.json");
+    // Keep the last attach's trace (the detach trace is a strict subset
+    // of phases; merge both into one file, attach first).
+    let trace = format!(
+        "{{\"attach\":{},\"detach\":{}}}\n",
+        last_traces.0, last_traces.1
+    );
+    std::fs::write("switch_timeline.trace.json", trace).expect("write switch_timeline.trace.json");
+    eprintln!("wrote switch_timeline.json, switch_timeline.trace.json");
+
+    // The decomposition must account for the headline number: phases sum
+    // within 1% of the end-to-end cost (§7.4 / bench_results.json).
+    let mut ok = true;
+    for b in [&attach, &detach] {
+        let gap = (b.sum_us() - b.total_us()).abs() / b.total_us();
+        if gap > 0.01 {
+            eprintln!(
+                "FAIL: {} phases sum to {:.2} µs but end-to-end is {:.2} µs ({:.2}% apart)",
+                b.label,
+                b.sum_us(),
+                b.total_us(),
+                100.0 * gap
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,32 @@
 //! The shared count/flag/completion variables below are real atomics;
 //! the peer CPUs run on real host threads, so the protocol is exercised
 //! under genuine concurrency.
+//!
+//! The full handshake, with the peer on its own thread as a second CPU
+//! would be (in the real switch path the peer side runs inside the
+//! `SELF_VIRT_RENDEZVOUS` interrupt handler):
+//!
+//! ```
+//! use mercury::rendezvous::Rendezvous;
+//! use std::sync::Arc;
+//!
+//! let rv = Arc::new(Rendezvous::new());
+//! rv.begin().unwrap();                       // CP: open the round
+//! let peer = {
+//!     let rv = Arc::clone(&rv);
+//!     std::thread::spawn(move || {
+//!         rv.check_in_and_wait().unwrap();   // peer: ack the IPI, park
+//!         // … per-CPU state reload runs here (§5.1.3) …
+//!         rv.complete();                     // peer: report done
+//!     })
+//! };
+//! rv.wait_ready(1).unwrap();                 // CP: everyone parked
+//! // … global state transfer runs here (§5.1.2) …
+//! rv.signal_go();                            // CP: release the peers
+//! rv.wait_done(1).unwrap();                  // CP: close the round
+//! peer.join().unwrap();
+//! assert!(!rv.in_progress());
+//! ```
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};

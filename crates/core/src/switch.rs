@@ -7,6 +7,42 @@
 //! triggered by raising `SELF_VIRT_ATTACH`/`SELF_VIRT_DETACH`; all the
 //! work happens inside the interrupt handler at PL0 (§5.1.3), and the
 //! privilege change is committed by editing the handler's return frame.
+//!
+//! The reference-count gate and the sub-millisecond commit, end to end:
+//!
+//! ```
+//! use mercury::{Mercury, SwitchOutcome, TrackingStrategy};
+//! use nimbus::kernel::{BootMode, KernelConfig};
+//! use nimbus::Kernel;
+//! use simx86::{costs, Machine, MachineConfig};
+//! use std::sync::Arc;
+//! use xenon::Hypervisor;
+//!
+//! let machine = Machine::new(MachineConfig::up());
+//! let hv = Hypervisor::warm_up(&machine);
+//! let cpu = machine.boot_cpu();
+//! let pool = machine.allocator.alloc_many(cpu, 4096).unwrap();
+//! let kernel = Kernel::boot(
+//!     Arc::clone(&machine),
+//!     KernelConfig { pool, mode: BootMode::Bare, fs_blocks: 512, fs_first_block: 1 },
+//! )
+//! .unwrap();
+//! let mercury = Mercury::install(kernel, hv, TrackingStrategy::RecomputeOnSwitch).unwrap();
+//!
+//! // A busy VO defers the switch to the retry timer (§5.1.1) …
+//! let guard = mercury.vo_refcount().enter();
+//! assert!(matches!(
+//!     mercury.switch_to_virtual(cpu).unwrap(),
+//!     SwitchOutcome::Deferred { refcount: 1 }
+//! ));
+//! drop(guard);
+//!
+//! // … while an idle one commits in sub-millisecond simulated time (§7.4).
+//! let SwitchOutcome::Completed { cycles } = mercury.switch_to_virtual(cpu).unwrap() else {
+//!     unreachable!()
+//! };
+//! assert!(costs::cycles_to_us(cycles) < 1000.0);
+//! ```
 
 use crate::pgtrack::TrackingStrategy;
 use crate::refcount::VoRefCount;
@@ -457,6 +493,7 @@ impl Mercury {
         if rc != 0 {
             *self.pending.lock() = Some(target);
             self.stats.deferrals.fetch_add(1, Ordering::Relaxed);
+            merctrace::counter!(cpu.id, "switch.deferred", 1, cpu.cycles());
             return Ok(SwitchOutcome::Deferred { refcount: rc });
         }
         // Dynamic invariant: every exit that let the count reach zero
@@ -465,18 +502,34 @@ impl Mercury {
         self.refcount.assert_quiescent();
 
         let t0 = cpu.rdtsc();
+        // Probe name for the whole-switch span; only read when tracing
+        // is compiled in, hence the underscore.
+        let _span = match target {
+            ExecMode::Virtual => "switch.attach",
+            ExecMode::Native => "switch.detach",
+        };
+        merctrace::span_begin!(cpu.id, _span, cpu.cycles());
 
         // §5.4: rendezvous the other CPUs.
         let peers = self.machine.num_cpus() - 1;
         if peers > 0 {
+            merctrace::span_begin!(cpu.id, "switch.rendezvous.gather", cpu.cycles());
             *self.rv_target.lock() = Some(target);
             self.rendezvous.begin().map_err(SwitchError::Rendezvous)?;
             self.machine
                 .intc
                 .broadcast_ipi(cpu, vectors::SELF_VIRT_RENDEZVOUS);
+            let _w0 = cpu.cycles();
             self.rendezvous
                 .wait_ready(peers)
                 .map_err(SwitchError::Rendezvous)?;
+            merctrace::hist!(
+                cpu.id,
+                "switch.rendezvous.wait",
+                cpu.cycles() - _w0,
+                cpu.cycles()
+            );
+            merctrace::span_end!(cpu.id, "switch.rendezvous.gather", cpu.cycles());
         }
 
         let transfer = match (self.assist, target) {
@@ -508,24 +561,29 @@ impl Mercury {
             if transfer.is_err() {
                 *self.rv_target.lock() = Some(self.mode());
             }
+            merctrace::span_begin!(cpu.id, "switch.rendezvous.release", cpu.cycles());
             self.rendezvous.signal_go();
             self.rendezvous
                 .wait_done(peers)
                 .map_err(SwitchError::Rendezvous)?;
             *self.rv_target.lock() = None;
+            merctrace::span_end!(cpu.id, "switch.rendezvous.release", cpu.cycles());
         }
         transfer?;
 
         // Per-CPU reload on the control processor, and the return-stack
         // privilege edit (§5.1.3).  Non-root guests keep PL0: hardware
         // assist removes the de-privileging entirely.
+        merctrace::span_begin!(cpu.id, "switch.reload_cpu", cpu.cycles());
         self.reload_cpu(cpu, target);
+        merctrace::span_end!(cpu.id, "switch.reload_cpu", cpu.cycles());
         frame.return_pl = match (self.assist, target) {
             (AssistMode::Software, ExecMode::Virtual) => PrivLevel::Pl1,
             _ => PrivLevel::Pl0,
         };
 
         // Relocate the kernel's sensitive code: one pointer store.
+        merctrace::span_begin!(cpu.id, "switch.vo_swap", cpu.cycles());
         self.kernel.set_pv(match (self.assist, target) {
             (AssistMode::HardwareAssisted, ExecMode::Virtual) => {
                 Arc::clone(self.hvm_vo.as_ref().expect("hvm VO built at install")) as Arc<dyn PvOps>
@@ -533,7 +591,9 @@ impl Mercury {
             (_, ExecMode::Virtual) => Arc::clone(&self.virtual_vo) as Arc<dyn PvOps>,
             (_, ExecMode::Native) => Arc::clone(&self.native_vo) as Arc<dyn PvOps>,
         });
+        merctrace::span_end!(cpu.id, "switch.vo_swap", cpu.cycles());
 
+        merctrace::span_end!(cpu.id, _span, cpu.cycles());
         Ok(SwitchOutcome::Completed {
             cycles: cpu.rdtsc() - t0,
         })
@@ -544,7 +604,9 @@ impl Mercury {
             return;
         }
         if let Some(target) = *self.rv_target.lock() {
+            merctrace::span_begin!(cpu.id, "switch.reload_cpu", cpu.cycles());
             self.reload_cpu(cpu, target);
+            merctrace::span_end!(cpu.id, "switch.reload_cpu", cpu.cycles());
             frame.return_pl = match (self.assist, target) {
                 (AssistMode::Software, ExecMode::Virtual) => PrivLevel::Pl1,
                 _ => PrivLevel::Pl0,
@@ -660,11 +722,16 @@ impl Mercury {
 
     fn attach_transfer(&self, cpu: &Arc<Cpu>) -> Result<(), SwitchError> {
         // 1. Page-table pages become read-only in the direct map.
+        merctrace::span_begin!(cpu.id, "switch.transfer.flip_tables", cpu.cycles());
         self.flip_table_frames(cpu, true)?;
+        merctrace::span_end!(cpu.id, "switch.transfer.flip_tables", cpu.cycles());
         // 2. Kernel-segment privilege in every saved thread context
         //    becomes PL1.
+        merctrace::span_begin!(cpu.id, "switch.transfer.fix_selectors", cpu.cycles());
         self.fix_selectors(cpu, PrivLevel::Pl1);
+        merctrace::span_end!(cpu.id, "switch.transfer.fix_selectors", cpu.cycles());
         // 3. Frame accounting: rebuild (or adopt) the VMM's page_info.
+        merctrace::span_begin!(cpu.id, "switch.transfer.pginfo_recompute", cpu.cycles());
         let pgds = self.kernel.all_pgds();
         let frames = self.kernel.pool_frames();
         self.hv
@@ -679,25 +746,34 @@ impl Mercury {
             )
             .map_err(|e| SwitchError::Transfer(e.to_string()))?;
         self.dom0.reset_pgds(pgds);
+        merctrace::span_end!(cpu.id, "switch.transfer.pginfo_recompute", cpu.cycles());
         // 4. Activate the pre-cached VMM and register the kernel's trap
         //    table with it (the VO-assistant step of §4.4).
+        merctrace::span_begin!(cpu.id, "switch.transfer.trap_table", cpu.cycles());
         self.hv.activate();
         self.virtual_vo
             .load_trap_table(cpu, self.kernel.idt())
             .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+        merctrace::span_end!(cpu.id, "switch.transfer.trap_table", cpu.cycles());
         Ok(())
     }
 
     fn detach_transfer(&self, cpu: &Arc<Cpu>) -> Result<(), SwitchError> {
         // 1. The dormant VMM stops tracking: wipe its accounting (a
         //    per-frame release pass — the cheap direction of §7.4).
+        merctrace::span_begin!(cpu.id, "switch.transfer.pginfo_clear", cpu.cycles());
         cpu.tick(costs::PGINFO_CLEAR_PER_FRAME * self.kernel.pool_frames().len() as u64);
         self.hv.page_info.clear_types_for(self.dom0.id);
         self.dom0.reset_pgds(Vec::new());
+        merctrace::span_end!(cpu.id, "switch.transfer.pginfo_clear", cpu.cycles());
         // 2. Page-table pages become writable again.
+        merctrace::span_begin!(cpu.id, "switch.transfer.flip_tables", cpu.cycles());
         self.flip_table_frames(cpu, false)?;
+        merctrace::span_end!(cpu.id, "switch.transfer.flip_tables", cpu.cycles());
         // 3. Saved kernel selectors go back to PL0.
+        merctrace::span_begin!(cpu.id, "switch.transfer.fix_selectors", cpu.cycles());
         self.fix_selectors(cpu, PrivLevel::Pl0);
+        merctrace::span_end!(cpu.id, "switch.transfer.fix_selectors", cpu.cycles());
         // 4. Deactivate.
         self.hv.deactivate();
         Ok(())

@@ -1,0 +1,85 @@
+//! The probe-name registry.
+//!
+//! Probe names are `&'static str` dotted paths (`"switch.transfer.
+//! flip_tables"`, `"xenon.hypercall.mmu_update"`).  The registry
+//! interns each distinct name to a dense [`ProbeId`]
+//! so ring records stay 32 bytes, and snapshots resolve ids back to
+//! names for export.  Interning the same name twice returns the same
+//! id:
+//!
+//! ```
+//! let a = merctrace::registry::intern("doc.registry.demo");
+//! let b = merctrace::registry::intern("doc.registry.demo");
+//! assert_eq!(a, b);
+//! assert_eq!(merctrace::registry::name(a), Some("doc.registry.demo"));
+//! ```
+
+use crate::ProbeId;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+struct Registry {
+    by_name: HashMap<&'static str, ProbeId>,
+    names: Vec<&'static str>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Intern `name`, returning its stable probe id.
+///
+/// # Panics
+///
+/// Panics if more than `ProbeId::MAX` distinct probe names are ever
+/// registered (far beyond any real instrumentation set).
+pub fn intern(name: &'static str) -> ProbeId {
+    let mut reg = registry().lock().expect("probe registry poisoned");
+    if let Some(&id) = reg.by_name.get(name) {
+        return id;
+    }
+    let id = ProbeId::try_from(reg.names.len()).expect("probe registry full");
+    reg.names.push(name);
+    reg.by_name.insert(name, id);
+    id
+}
+
+/// Resolve a probe id back to its name, if registered.
+pub fn name(id: ProbeId) -> Option<&'static str> {
+    let reg = registry().lock().expect("probe registry poisoned");
+    reg.names.get(id as usize).copied()
+}
+
+/// Every registered probe name, indexed by probe id.
+pub fn names() -> Vec<&'static str> {
+    registry()
+        .lock()
+        .expect("probe registry poisoned")
+        .names
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolvable() {
+        let a = intern("test.registry.alpha");
+        let b = intern("test.registry.alpha");
+        let c = intern("test.registry.beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(name(a), Some("test.registry.alpha"));
+        assert_eq!(name(c), Some("test.registry.beta"));
+        let all = names();
+        assert!(all.contains(&"test.registry.alpha"));
+        assert!(all.contains(&"test.registry.beta"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The per-CPU event ring.
+//!
+//! Each simulated CPU owns one [`Ring`]: a fixed-capacity circular
+//! buffer of [`Record`]s with *overwrite-oldest* overflow semantics.
+//! When a ring is full the oldest record is replaced and the
+//! [`Ring::dropped`] count is bumped, so a snapshot always reports how
+//! much history was lost.  Rings are written from the simulated CPU's
+//! host thread and read by the exporter; the caller (the global tracer
+//! in the crate root) serializes access with a per-CPU mutex, which is
+//! also why this file must never use `Ordering::Relaxed` — the volint
+//! ATOMIC-ORDER rule audits the trace-buffer code alongside the
+//! rendezvous and refcount protocols.
+//!
+//! ```
+//! use merctrace::ring::Ring;
+//! use merctrace::{Kind, Record};
+//!
+//! let mut ring = Ring::new(2);
+//! for ts in 0..3 {
+//!     ring.push(Record { ts, probe: 0, kind: Kind::Counter, value: 1 });
+//! }
+//! // Capacity 2: the ts=0 record was overwritten, and that loss is
+//! // accounted for.
+//! let records = ring.records();
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(records[0].ts, 1);
+//! assert_eq!(records[1].ts, 2);
+//! assert_eq!(ring.dropped(), 1);
+//! ```
+
+use crate::Record;
+
+/// A fixed-capacity circular record buffer with overwrite-oldest
+/// overflow and a dropped-record count.
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<Record>,
+    /// Next write position.
+    head: usize,
+    /// Number of live records (≤ capacity).
+    len: usize,
+    /// Records overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl Ring {
+    /// Create a ring holding at most `capacity` records.
+    ///
+    /// A zero capacity is rounded up to 1 so `push` is always able to
+    /// retain the newest record.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Ring {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records overwritten by overflow since the last [`Ring::clear`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Append a record, overwriting the oldest one when full.
+    pub fn push(&mut self, r: Record) {
+        let cap = self.buf.capacity();
+        if self.buf.len() < cap {
+            self.buf.push(r);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = r;
+            if self.len == cap {
+                self.dropped += 1;
+            } else {
+                self.len += 1;
+            }
+        }
+        self.head = (self.head + 1) % cap;
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<Record> {
+        let cap = self.buf.capacity();
+        if self.buf.len() < cap || self.len < cap {
+            // Never wrapped: records sit at the start in push order.
+            return self.buf[..self.len].to_vec();
+        }
+        let mut out = Vec::with_capacity(self.len);
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Discard every record and reset the dropped count.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kind;
+
+    fn rec(ts: u64) -> Record {
+        Record {
+            ts,
+            probe: 0,
+            kind: Kind::Counter,
+            value: 1,
+        }
+    }
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let mut r = Ring::new(4);
+        for ts in 0..10 {
+            r.push(rec(ts));
+        }
+        let got: Vec<u64> = r.records().iter().map(|x| x.ts).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn partial_fill_in_order() {
+        let mut r = Ring::new(8);
+        for ts in 0..3 {
+            r.push(rec(ts));
+        }
+        let got: Vec<u64> = r.records().iter().map(|x| x.ts).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = Ring::new(2);
+        for ts in 0..5 {
+            r.push(rec(ts));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.push(rec(42));
+        assert_eq!(r.records()[0].ts, 42);
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up() {
+        let mut r = Ring::new(0);
+        r.push(rec(1));
+        r.push(rec(2));
+        assert_eq!(r.records().len(), 1);
+        assert_eq!(r.records()[0].ts, 2);
+        assert_eq!(r.dropped(), 1);
+    }
+}

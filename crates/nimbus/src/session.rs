@@ -45,11 +45,13 @@ impl Session {
 
     fn enter(&self) {
         self.service();
+        merctrace::span_begin!(self.cpu.id, "nimbus.syscall", self.cpu.cycles());
         self.kernel.pv().syscall_entry(&self.cpu);
     }
 
     fn leave(&self) {
         self.kernel.pv().syscall_exit(&self.cpu);
+        merctrace::span_end!(self.cpu.id, "nimbus.syscall", self.cpu.cycles());
         // Kernel preemption point: honor a pending timer reschedule.
         let _ = self.kernel.maybe_preempt(&self.cpu);
     }

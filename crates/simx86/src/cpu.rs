@@ -307,6 +307,7 @@ impl Cpu {
         self.tick(costs::CR3_LOAD_NATIVE);
         self.cr3.store(pgd_frame as u64, Ordering::Release);
         self.flush_tlb_local();
+        merctrace::counter!(self.id, "simx86.privop.write_cr3", 1, self.cycles());
         Ok(())
     }
 
@@ -338,6 +339,7 @@ impl Cpu {
     pub fn flush_tlb_local(&self) {
         self.tick(costs::TLB_FLUSH);
         self.tlb.lock().flush();
+        merctrace::counter!(self.id, "simx86.tlb.flush", 1, self.cycles());
     }
 
     /// Invalidate a single page translation.
@@ -345,6 +347,7 @@ impl Cpu {
     pub fn invlpg(&self, vpn: u64) {
         self.tick(4);
         self.tlb.lock().invalidate(vpn);
+        merctrace::counter!(self.id, "simx86.tlb.invlpg", 1, self.cycles());
     }
 
     // -- interrupt flag -----------------------------------------------
@@ -385,6 +388,7 @@ impl Cpu {
         self.require_pl0("lidt")?;
         self.tick(60);
         *self.idt.write() = Some(table);
+        merctrace::counter!(self.id, "simx86.privop.lidt", 1, self.cycles());
         Ok(())
     }
 
@@ -405,6 +409,7 @@ impl Cpu {
         self.require_pl0("lgdt")?;
         self.tick(60);
         *self.gdt.write() = gdt;
+        merctrace::counter!(self.id, "simx86.privop.lgdt", 1, self.cycles());
         Ok(())
     }
 
@@ -511,6 +516,8 @@ impl Cpu {
         let idt = self.current_idt();
         match idt.as_ref().and_then(|t| t.gate(vector)) {
             Some(_) => {
+                merctrace::counter!(self.id, "simx86.fault", 1, self.cycles());
+                merctrace::hist!(self.id, "simx86.fault.vector", vector, self.cycles());
                 self.dispatch(vector, error);
                 Ok(())
             }
@@ -554,10 +561,12 @@ impl Cpu {
             saved_if: prev_if,
         };
         self.tick(costs::IRQ_DISPATCH);
+        merctrace::counter!(self.id, "simx86.irq.dispatch", 1, self.cycles());
         // In non-root mode an external interrupt forces a VM exit; the
         // VMM re-injects it and re-enters the guest.
         if self.in_non_root() {
             self.tick(costs::VMEXIT + costs::VMENTRY);
+            merctrace::counter!(self.id, "simx86.vmexit.irq", 1, self.cycles());
         }
         // Interrupt gates disable interrupts and enter at PL0.
         self.set_if_raw(false);

@@ -42,6 +42,7 @@ impl InterruptController {
     /// sender.
     pub fn send_ipi(&self, from: &Cpu, to: usize, vector: u8) {
         from.tick(costs::IPI_SEND);
+        merctrace::counter!(from.id, "simx86.ipi.send", 1, from.cycles());
         self.cpus[to].raise(vector);
     }
 
@@ -51,6 +52,7 @@ impl InterruptController {
         for cpu in &self.cpus {
             if cpu.id != from.id {
                 from.tick(costs::IPI_SEND);
+                merctrace::counter!(from.id, "simx86.ipi.send", 1, from.cycles());
                 cpu.raise(vector);
             }
         }

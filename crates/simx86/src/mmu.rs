@@ -50,6 +50,7 @@ impl Mmu {
         }
 
         cpu.tick(costs::TLB_MISS_WALK);
+        merctrace::counter!(cpu.id, "simx86.tlb.miss", 1, cpu.cycles());
         let ept = cpu.active_ept();
         if ept.is_some() {
             // Nested walk: every guest-table access re-translates.

@@ -9,6 +9,30 @@
 //! and the tests below hold the marker set and this registry together
 //! so neither can drift: adding a privileged primitive without
 //! registering it (or vice versa) fails the build.
+//!
+//! Privilege is enforced by the simulated hardware itself — a
+//! registered primitive executed de-privileged faults exactly as the
+//! paper's de-privileged kernel would trap into the VMM:
+//!
+//! ```
+//! use simx86::cpu::{Cpu, PrivLevel};
+//!
+//! let cpu = Cpu::new(0);
+//! cpu.write_cr3(1).expect("PL0 may load CR3");
+//!
+//! // De-privilege the CPU, as Mercury's attach does to the kernel …
+//! cpu.set_pl_raw(PrivLevel::Pl1);
+//! // … and the same instruction now takes a #GP.
+//! assert!(cpu.write_cr3(2).is_err());
+//!
+//! // The registry documents why it is virtualization-sensitive.
+//! let op = simx86::privops::REGISTRY
+//!     .iter()
+//!     .find(|op| op.name == "write_cr3")
+//!     .unwrap();
+//! assert_eq!(op.paper_ref, "§5.3");
+//! assert!(simx86::privops::is_privileged("write_cr3"));
+//! ```
 
 /// One privileged primitive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

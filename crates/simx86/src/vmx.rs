@@ -11,7 +11,7 @@
 //!
 //! The model captures exactly those two effects:
 //!
-//! * **Non-root mode** ([`Cpu::set_non_root`]): the guest kernel keeps
+//! * **Non-root mode** ([`Cpu::set_non_root`](crate::cpu::Cpu::set_non_root)): the guest kernel keeps
 //!   running at PL0 — no de-privileging, so no segment-selector fixups
 //!   and no read-only page tables.  Selected events (interrupts, device
 //!   doorbells) cost a VM exit + re-entry instead.

@@ -13,7 +13,9 @@
 //!   attach/detach/rollback state transfer (paper §5.1.2/§5.1.3).
 //! * **ATOMIC-ORDER** — `Ordering::Relaxed` on `Rendezvous` /
 //!   `VoRefCount` state (paper §5.4: the IPI handshake is only correct
-//!   under acquire/release ordering).
+//!   under acquire/release ordering), and on `merctrace` per-CPU
+//!   trace-buffer state (snapshot readers must observe fully published
+//!   records).
 
 use crate::scan::{FileFacts, LetBinding};
 use crate::{Config, Diagnostic, Rule, Severity};
@@ -219,23 +221,27 @@ fn refcount_leak(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
 
 fn atomic_order(f: &FileFacts, out: &mut Vec<Diagnostic>) {
     let basename = f.name.rsplit('/').next().unwrap_or(&f.name);
-    let protected = f.defines_struct("Rendezvous")
+    let protocol = f.defines_struct("Rendezvous")
         || f.defines_struct("VoRefCount")
         || basename == "rendezvous.rs"
         || basename == "refcount.rs";
-    if !protected {
+    // The merctrace per-CPU buffers are read by exporters on another
+    // thread: the armed flag and any ring bookkeeping must publish with
+    // acquire/release, or a snapshot can observe a half-written record.
+    let trace_buffers =
+        f.name.contains("merctrace") || f.defines_struct("Tracer");
+    if !(protocol || trace_buffers) {
         return;
     }
+    let what = if protocol {
+        "`Ordering::Relaxed` on rendezvous/refcount state: the IPI \
+         handshake requires acquire/release ordering (paper §5.4)"
+    } else {
+        "`Ordering::Relaxed` on trace-buffer state: snapshot readers \
+         need acquire/release to see fully published records"
+    };
     for (line, _) in &f.relaxed {
-        push(
-            out,
-            f,
-            Rule::AtomicOrder,
-            *line,
-            "`Ordering::Relaxed` on rendezvous/refcount state: the IPI \
-             handshake requires acquire/release ordering (paper §5.4)"
-                .to_string(),
-        );
+        push(out, f, Rule::AtomicOrder, *line, what.to_string());
     }
 }
 

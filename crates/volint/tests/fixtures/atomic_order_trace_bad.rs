@@ -1,0 +1,28 @@
+// Known-bad fixture: Relaxed atomics on merctrace-style per-CPU
+// trace-buffer state.  A snapshot reader on another thread must see
+// fully published records, so the armed flag and ring bookkeeping
+// need acquire/release.
+
+pub struct Tracer {
+    armed: AtomicBool,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::Relaxed); //~ ATOMIC-ORDER
+    }
+
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed) //~ ATOMIC-ORDER
+    }
+
+    pub fn note_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed); //~ ATOMIC-ORDER
+    }
+
+    pub fn disarm(&self) {
+        // Correct ordering: not flagged.
+        self.armed.store(false, Ordering::Release);
+    }
+}

@@ -63,6 +63,36 @@ fn atomic_order_fixture() {
 }
 
 #[test]
+fn atomic_order_trace_fixture() {
+    let src = include_str!("fixtures/atomic_order_trace_bad.rs");
+    assert!(expectations(src).iter().any(|(_, r)| r == "ATOMIC-ORDER"));
+    check_fixture("atomic_order_trace_bad.rs", src);
+}
+
+/// ATOMIC-ORDER protection also keys on the merctrace path, not just
+/// the `Tracer` struct: any file under the tracing crate with a Relaxed
+/// atomic is flagged.
+#[test]
+fn atomic_order_covers_merctrace_paths() {
+    let cfg = Config::mercury_defaults();
+    let src = "pub fn push(dropped: &AtomicU64) {\n    \
+               dropped.fetch_add(1, Ordering::Relaxed);\n}\n";
+    let diags = analyze_sources(
+        &[(
+            "crates/merctrace/src/ring.rs".to_string(),
+            src.to_string(),
+        )],
+        &cfg,
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule.as_str() == "ATOMIC-ORDER" && d.line == 2),
+        "Relaxed in a merctrace file must be flagged; got {diags:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let src = include_str!("fixtures/clean_good.rs");
     assert!(expectations(src).is_empty());

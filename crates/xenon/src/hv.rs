@@ -195,9 +195,13 @@ impl Hypervisor {
         }
     }
 
-    fn count_hypercall(&self, cpu: &Cpu) {
+    // `probe` is read only by the merctrace probes (compiled out by
+    // default), hence the underscore.
+    fn count_hypercall(&self, cpu: &Cpu, _probe: &'static str) {
         cpu.tick(costs::HYPERCALL_BASE);
         self.stats.hypercalls.fetch_add(1, Ordering::Relaxed);
+        merctrace::counter!(cpu.id, "xenon.hypercall", 1, cpu.cycles());
+        merctrace::counter!(cpu.id, _probe, 1, cpu.cycles());
     }
 
     // -- domain lifecycle -------------------------------------------------
@@ -309,7 +313,7 @@ impl Hypervisor {
         updates: &[MmuUpdate],
     ) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.mmu_update");
         for u in updates {
             cpu.tick(costs::MMU_UPDATE_PER_ENTRY);
             self.stats.mmu_entries.fetch_add(1, Ordering::Relaxed);
@@ -394,7 +398,7 @@ impl Hypervisor {
     /// `MMUEXT_PIN_L2_TABLE`: validate and pin a base table.
     pub fn pin_l2(&self, cpu: &Cpu, dom: &Arc<Domain>, pgd: FrameNum) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.pin_l2");
         self.page_info.pin_l2(cpu, &self.machine.mem, pgd, dom.id)?;
         dom.add_pgd(pgd);
         Ok(())
@@ -403,7 +407,7 @@ impl Hypervisor {
     /// `MMUEXT_UNPIN_TABLE`.
     pub fn unpin_l2(&self, cpu: &Cpu, dom: &Arc<Domain>, pgd: FrameNum) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.unpin_l2");
         self.page_info.unpin_l2(cpu, &self.machine.mem, pgd)?;
         dom.remove_pgd(pgd);
         Ok(())
@@ -418,7 +422,7 @@ impl Hypervisor {
         pgd: FrameNum,
     ) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.new_baseptr");
         let (typ, count) = self.page_info.type_of(pgd);
         if typ != PageType::L2 || count == 0 {
             return Err(HvError::TypeConflict("baseptr not a validated L2"));
@@ -436,7 +440,7 @@ impl Hypervisor {
     /// `MMUEXT_TLB_FLUSH_LOCAL`.
     pub fn tlb_flush_local(&self, cpu: &Arc<Cpu>) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.tlb_flush_local");
         cpu.flush_tlb_local();
         Ok(())
     }
@@ -445,7 +449,7 @@ impl Hypervisor {
     /// the shootdown on the guest's behalf).
     pub fn tlb_flush_all(&self, cpu: &Arc<Cpu>) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.tlb_flush_all");
         for c in &self.machine.cpus {
             if c.id != cpu.id {
                 cpu.tick(costs::IPI_SEND);
@@ -458,7 +462,7 @@ impl Hypervisor {
     /// `MMUEXT_INVLPG_LOCAL`.
     pub fn invlpg(&self, cpu: &Arc<Cpu>, vpn: u64) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.invlpg");
         cpu.invlpg(vpn);
         Ok(())
     }
@@ -473,7 +477,7 @@ impl Hypervisor {
         entries: Vec<(u8, Arc<dyn InterruptSink>)>,
     ) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.set_trap_table");
         for (vector, sink) in entries {
             dom.set_trap_gate(vector, sink);
         }
@@ -490,21 +494,21 @@ impl Hypervisor {
         sp: u64,
     ) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.stack_switch");
         dom.set_kernel_sp(vcpu, sp)
     }
 
     /// `SCHEDOP_yield`.
     pub fn sched_yield(&self, cpu: &Cpu, _dom: &Arc<Domain>) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.sched_yield");
         Ok(())
     }
 
     /// `SCHEDOP_block`: the vCPU sleeps until an event arrives.
     pub fn sched_block(&self, cpu: &Cpu, dom: &Arc<Domain>, vcpu: usize) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.sched_block");
         dom.set_runnable(vcpu, false);
         Ok(())
     }
@@ -512,7 +516,7 @@ impl Hypervisor {
     /// `HYPERVISOR_console_io`.
     pub fn console_io(&self, cpu: &Cpu, msg: &str) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.console_io");
         self.machine.console.write_line(msg);
         Ok(())
     }
@@ -530,7 +534,7 @@ impl Hypervisor {
         frames: &[FrameNum],
     ) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.balloon_out");
         // Validate everything first: partial balloons are confusing.
         for &f in frames {
             if self.page_info.owner(f) != Some(dom.id) {
@@ -565,7 +569,7 @@ impl Hypervisor {
         n: usize,
     ) -> Result<Vec<FrameNum>, HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.balloon_in");
         let frames = self.take_reserved(n)?;
         for &f in &frames {
             cpu.tick(costs::FRAME_ALLOC / 2);
@@ -582,7 +586,7 @@ impl Hypervisor {
     /// `EVTCHNOP_alloc_unbound`.
     pub fn evtchn_alloc(&self, cpu: &Cpu, dom: &Arc<Domain>) -> Result<u32, HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.evtchn_alloc");
         self.events.alloc_unbound(dom.id)
     }
 
@@ -595,14 +599,14 @@ impl Hypervisor {
         peer_port: u32,
     ) -> Result<u32, HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.evtchn_bind");
         self.events.bind_interdomain(dom.id, peer, peer_port)
     }
 
     /// `EVTCHNOP_send`.
     pub fn evtchn_send(&self, cpu: &Cpu, dom: &Arc<Domain>, port: u32) -> Result<(), HvError> {
         self.check_active()?;
-        self.count_hypercall(cpu);
+        self.count_hypercall(cpu, "xenon.hypercall.evtchn_send");
         self.events
             .send(cpu, &self.machine.intc, dom, port, |id| self.domain(id))
     }
@@ -617,6 +621,7 @@ impl Hypervisor {
         readonly: bool,
     ) -> Result<u32, HvError> {
         self.check_active()?;
+        merctrace::counter!(cpu.id, "xenon.hypercall.grant", 1, cpu.cycles());
         if !dom.owns(frame) {
             return Err(HvError::BadFrame {
                 frame: frame.0,
@@ -635,6 +640,7 @@ impl Hypervisor {
         gref: u32,
     ) -> Result<(FrameNum, bool), HvError> {
         self.check_active()?;
+        merctrace::counter!(cpu.id, "xenon.hypercall.grant_map", 1, cpu.cycles());
         self.grants.map(cpu, dom.id, grantor, gref)
     }
 
@@ -647,12 +653,14 @@ impl Hypervisor {
         gref: u32,
     ) -> Result<(), HvError> {
         self.check_active()?;
+        merctrace::counter!(cpu.id, "xenon.hypercall.grant_unmap", 1, cpu.cycles());
         self.grants.unmap(cpu, dom.id, grantor, gref)
     }
 
     /// Revoke one of the caller's own grants.
     pub fn grant_revoke(&self, cpu: &Cpu, dom: &Arc<Domain>, gref: u32) -> Result<(), HvError> {
         self.check_active()?;
+        merctrace::counter!(cpu.id, "xenon.hypercall.grant_revoke", 1, cpu.cycles());
         self.grants.revoke(cpu, dom.id, gref)
     }
 }
@@ -671,6 +679,7 @@ impl InterruptSink for ReflectSink {
         };
         cpu.tick(costs::TRAP_REFLECT_VIRT);
         hv.stats.reflections.fetch_add(1, Ordering::Relaxed);
+        merctrace::counter!(cpu.id, "xenon.trap.reflect", 1, cpu.cycles());
 
         if frame.vector == vectors::EVTCHN_UPCALL {
             // Deliver to every domain homed on this CPU with pending

@@ -10,6 +10,8 @@
 //! | `fig4` | Fig. 4 — relative application performance, SMP |
 //! | `mode_switch` | §7.4 — mode switch times |
 //! | `ablation_tracking` | §5.1.2 — recompute vs active tracking |
+//! | `switch_timeline` | §7.3 — per-phase switch decomposition (merctrace) |
+//! | `fault_campaign` | DESIGN.md §12 — seeded dependability campaigns (`faultgen_results.json`) |
 //! | `all` | everything above, plus a JSON dump for EXPERIMENTS.md |
 //!
 //! The `benches/` directory carries criterion harnesses over the same

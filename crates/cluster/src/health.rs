@@ -119,6 +119,24 @@ impl HealthMonitor {
         *self.history.lock().last().expect("primed with one reading")
     }
 
+    /// Bridge from the fault-injection engine: fold a detected fault
+    /// into the sensor stream so the §6.5 failure predictor sees it.
+    /// Memory bit-flips are what ECC scrubbing reports as corrected
+    /// errors, so each one bumps `dram_ce` on a fresh sample; a
+    /// sustained bit-flip campaign therefore trends the monitor through
+    /// [`HealthStatus::Degraded`] into
+    /// [`HealthStatus::FailurePredicted`], exactly the evacuation
+    /// trigger the paper describes.  Other classes are handled by the
+    /// [watchdog](crate::watchdog) directly and leave the sensors
+    /// untouched.
+    pub fn observe_fault(&self, class: faultgen::FaultClass) {
+        if class == faultgen::FaultClass::MemBitFlip {
+            let mut reading = self.latest();
+            reading.dram_ce += 1;
+            self.inject(reading);
+        }
+    }
+
     /// Assess the node: thresholds on the latest sample plus a simple
     /// temperature-trend predictor (three consecutive rising samples
     /// already past the warning line predict failure).
@@ -226,6 +244,19 @@ mod tests {
         // 74 < 85 (critical) but the trend through the warning line
         // predicts failure.
         assert!(matches!(m.assess(), HealthStatus::FailurePredicted(_)));
+    }
+
+    #[test]
+    fn bit_flips_accumulate_into_a_failure_prediction() {
+        let m = HealthMonitor::new();
+        for _ in 0..Thresholds::default().dram_ce_crit {
+            m.observe_fault(faultgen::FaultClass::MemBitFlip);
+        }
+        assert!(matches!(m.assess(), HealthStatus::FailurePredicted(_)));
+        // Non-memory classes do not perturb the sensors.
+        let before = m.latest();
+        m.observe_fault(faultgen::FaultClass::DeviceTimeout);
+        assert_eq!(m.latest(), before);
     }
 
     #[test]

@@ -13,17 +13,21 @@
 //!
 //! This crate provides [`Node`] (a full machine + warm hypervisor +
 //! Mercury-enabled kernel), [`Cluster`] (nodes wired together with
-//! simulated network links), the [`health`] monitors, and the
-//! [`maintenance`]/[`failover`] orchestrations.
+//! simulated network links), the [`health`] monitors, the reactive
+//! [`watchdog`] driving on-demand attach for fault isolation and
+//! recovery (§6.2's device-driver-isolation use case, DESIGN.md §12),
+//! and the [`maintenance`]/[`failover`] orchestrations.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod failover;
 pub mod health;
 pub mod maintenance;
 pub mod node;
+pub mod watchdog;
 
 pub use failover::{auto_failover, FailoverReport};
 pub use health::{HealthMonitor, HealthStatus, SensorReading};
 pub use maintenance::{evacuate, return_home, EvacuatedGuest, MaintenanceError};
 pub use node::{Cluster, Node, NodeConfig};
+pub use watchdog::{FaultReport, RecoveryAction, Watchdog, WatchdogPolicy};

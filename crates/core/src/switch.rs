@@ -153,6 +153,11 @@ pub struct SwitchStats {
     pub last_attach_cycles: AtomicU64,
     /// Cycles of the most recent detach.
     pub last_detach_cycles: AtomicU64,
+    /// Switch attempts abandoned because the SMP rendezvous failed
+    /// (a peer CPU never reached its service point).  A dependability
+    /// watchdog reads this to decide when to fall back to native-mode
+    /// recovery (DESIGN.md §12).
+    pub rendezvous_failures: AtomicU64,
 }
 
 /// The self-virtualization engine for one kernel.
@@ -468,6 +473,9 @@ impl Mercury {
                 }
             }
             *self.pending.lock() = None;
+        }
+        if let Err(SwitchError::Rendezvous(_)) = &result {
+            self.stats.rendezvous_failures.fetch_add(1, Ordering::Relaxed);
         }
         *self.last_outcome.lock() = Some(result);
     }

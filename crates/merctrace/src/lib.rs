@@ -75,6 +75,16 @@
 //! }
 //! merctrace::disarm();
 //! ```
+//!
+//! # Probe namespaces
+//!
+//! Instrumented crates use dotted, stable probe names: `simx86.*`,
+//! `xenon.*`, `nimbus.*` and `switch.*` (the full inventory is tabled
+//! in DESIGN.md §11), plus `watchdog.*` from the cluster crate's
+//! dependability watchdog —
+//! `watchdog.fault.{detected,recovered}` counters and
+//! `watchdog.{attach,detach,degraded}` events around the
+//! detect → attach → recover → detach loop (DESIGN.md §12).
 
 #![deny(missing_docs)]
 

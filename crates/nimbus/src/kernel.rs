@@ -488,6 +488,17 @@ impl Kernel {
         Arc::clone(&self.idt)
     }
 
+    /// Rewrite `cpu`'s trap table from the kernel's pristine copy.
+    ///
+    /// This is the descriptor-repair path a dependability watchdog takes
+    /// when it detects a corrupted IDT gate (DESIGN.md §12): the known
+    /// good table is reinstalled through the active paravirt object, so
+    /// the write is mediated by whatever layer currently owns the
+    /// hardware — `lidt` natively, a hypercall when virtualized.
+    pub fn reinstall_idt(self: &Arc<Self>, cpu: &Arc<Cpu>) -> Result<(), KernelError> {
+        self.pv().load_trap_table(cpu, Arc::clone(&self.idt))
+    }
+
     /// The direct-map locator.
     pub fn kmap(&self) -> &KernelMap {
         &self.kmap

@@ -493,6 +493,12 @@ impl Cpu {
         if self.in_service.swap(true, Ordering::AcqRel) {
             return 0;
         }
+        // Fault injection (compiled out by default): a due spurious
+        // interrupt fires once; a stuck line re-asserts its vector at
+        // every service point until the fault is resolved.
+        if let Some(vector) = faultgen::irq_site!(self.id, self.cycles()) {
+            self.raise(vector);
+        }
         while self.interrupts_enabled() {
             let bits = self.pending.load(Ordering::Acquire);
             if bits == 0 {
@@ -529,6 +535,13 @@ impl Cpu {
     /// handler, and `iret` to whatever privilege level the handler left
     /// in the frame.
     fn dispatch(self: &Arc<Self>, vector: u8, error: u64) {
+        // Fault injection (compiled out by default): a corrupted
+        // descriptor makes the gate unreadable — the dispatch is
+        // swallowed until the descriptor is rewritten and the fault
+        // resolved, exactly like a latent IDT corruption on hardware.
+        if faultgen::gate_site!(self.id, self.cycles(), vector) {
+            return;
+        }
         let Some(idt) = self.current_idt() else {
             return;
         };

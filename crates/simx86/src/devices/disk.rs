@@ -97,6 +97,14 @@ impl SimDisk {
             let Some(req) = self.queue.lock().pop_front() else {
                 break;
             };
+            // Fault injection (compiled out by default): a wedged device
+            // stalls on this request — it goes back to the head of the
+            // queue and the pump stops, so nothing behind it completes
+            // until the fault is resolved (a device timeout).
+            if faultgen::disk_site!(req.id) {
+                self.queue.lock().push_front(req);
+                break;
+            }
             let n_bytes = req.count as usize * SECTOR_SIZE;
             let off = req.sector as usize * SECTOR_SIZE;
             let cost = costs::DISK_REQUEST_BASE + costs::DISK_PER_SECTOR * req.count as u64;

@@ -29,6 +29,15 @@
 //! executed de-privileged.  A hypervisor claims PL0 and installs its own
 //! gate table; the guest kernel then runs at PL1 and must either use
 //! hypercalls (paravirtualization) or trap.
+//!
+//! With the `fault` feature (off by default, an alias for
+//! `faultgen/enabled`) the memory, interrupt and device paths compile in
+//! faultgen's injection hooks: memory bit-flips on word reads, a wedged
+//! disk in the pump, spurious/stuck interrupt lines at service points,
+//! and swallowed gate dispatches for corrupted descriptors.  Without the
+//! feature every hook expands to a constant and the hardware model is
+//! cycle-identical to this crate built before the hooks existed
+//! (`tests/faultgen_overhead.rs` in the workspace root pins this).
 
 #![warn(missing_docs)]
 

@@ -117,7 +117,17 @@ impl PhysMemory {
     pub fn read_word(&self, cpu: &Cpu, pa: PhysAddr) -> Result<u64, Fault> {
         cpu.tick(costs::MEM_WORD);
         let f = self.frame_ref(pa.frame())?;
-        Ok(f.data.lock()[pa.word_index()])
+        let mut guard = f.data.lock();
+        let mut value = guard[pa.word_index()];
+        // Fault injection (compiled out by default): a due mem-bit-flip
+        // fault on this word XORs its mask in and the corrupted value is
+        // stored back, so the flip persists until a watchdog scrubs it.
+        let flip = faultgen::mem_read_site!(cpu.id, cpu.cycles(), pa.frame().0, pa.word_index());
+        if flip != 0 {
+            value ^= flip;
+            guard[pa.word_index()] = value;
+        }
+        Ok(value)
     }
 
     /// Write one 8-byte word.  Charges [`costs::MEM_WORD`] to `cpu`.

@@ -6,8 +6,10 @@
 //! must pair with an exit so the switch gate (§5.1.1) is sound, the
 //! `PvOps` dispatch table must be total across VOes with symmetric
 //! state transfer (§5.1.2/§5.1.3), and the SMP rendezvous protocol
-//! (§5.4) must use acquire/release atomics.  volint enforces all four
-//! as a static pass over the workspace source.
+//! (§5.4) must use acquire/release atomics, and the fault-injection
+//! hooks (DESIGN.md §12) must stay out of the mode-switch critical
+//! section.  volint enforces all five as a static pass over the
+//! workspace source.
 //!
 //! Use it as a library ([`analyze_sources`] / [`analyze_workspace`]
 //! produce structured [`Diagnostic`]s) or as a binary
@@ -46,6 +48,9 @@ pub enum Rule {
     DispatchGap,
     /// Relaxed atomics on rendezvous/refcount state (paper §5.4).
     AtomicOrder,
+    /// Fault-injection hook used inside the switch critical section
+    /// (DESIGN.md §12: injection must never perturb the switch itself).
+    FaultMask,
 }
 
 impl Rule {
@@ -56,6 +61,7 @@ impl Rule {
             Rule::RefcountLeak => "REFCOUNT-LEAK",
             Rule::DispatchGap => "DISPATCH-GAP",
             Rule::AtomicOrder => "ATOMIC-ORDER",
+            Rule::FaultMask => "FAULT-MASK",
         }
     }
 }
@@ -155,6 +161,11 @@ pub struct Config {
     /// Calls that block on a pending switch or rendezvous; holding a VO
     /// guard across them deadlocks (REFCOUNT-LEAK).
     pub blocking_calls: BTreeSet<String>,
+    /// The `faultgen` injection-hook entry points (FAULT-MASK targets).
+    pub fault_hooks: BTreeSet<String>,
+    /// Functions forming the mode-switch critical section; fault hooks
+    /// must not appear in their bodies (FAULT-MASK).
+    pub switch_critical: BTreeSet<String>,
 }
 
 impl Config {
@@ -192,6 +203,22 @@ impl Config {
             "wait_ready_and_go",
             "check_in_and_wait",
         ];
+        let fault_hooks = [
+            "mem_read_site",
+            "disk_site",
+            "irq_site",
+            "gate_site",
+            "hypercall_site",
+        ];
+        let switch_critical = [
+            "try_switch",
+            "handle_switch",
+            "handle_rendezvous_peer",
+            "attach_transfer",
+            "detach_transfer",
+            "rollback_transfer",
+            "reload_cpu",
+        ];
         Config {
             privileged: privileged.iter().map(|s| s.to_string()).collect(),
             allow_paths: vec![
@@ -207,6 +234,8 @@ impl Config {
             ],
             dispatch_receivers: receivers.iter().map(|s| s.to_string()).collect(),
             blocking_calls: blocking.iter().map(|s| s.to_string()).collect(),
+            fault_hooks: fault_hooks.iter().map(|s| s.to_string()).collect(),
+            switch_critical: switch_critical.iter().map(|s| s.to_string()).collect(),
         }
     }
 }

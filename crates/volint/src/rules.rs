@@ -1,4 +1,4 @@
-//! The four Mercury invariant rules.
+//! The five Mercury invariant rules.
 //!
 //! * **VO-BYPASS** — privileged `simx86` primitives reached outside a
 //!   `PvOps` impl or the allowlisted switch-handler/hardware layers
@@ -16,6 +16,11 @@
 //!   under acquire/release ordering), and on `merctrace` per-CPU
 //!   trace-buffer state (snapshot readers must observe fully published
 //!   records).
+//! * **FAULT-MASK** — a `faultgen` injection hook used inside the
+//!   mode-switch critical section (DESIGN.md §12: the switch path must
+//!   stay fault-free — injection targets the workload and device
+//!   surface, never the attach/detach machinery itself, or a campaign
+//!   could wedge the very mechanism meant to answer it).
 
 use crate::scan::{FileFacts, LetBinding};
 use crate::{Config, Diagnostic, Rule, Severity};
@@ -28,6 +33,7 @@ pub fn check(files: &[FileFacts], cfg: &Config) -> Vec<Diagnostic> {
         vo_bypass(f, cfg, &mut out);
         refcount_leak(f, cfg, &mut out);
         atomic_order(f, &mut out);
+        fault_mask(f, cfg, &mut out);
     }
     dispatch_gap(files, cfg, &mut out);
     out.sort_by(|a, b| {
@@ -242,6 +248,41 @@ fn atomic_order(f: &FileFacts, out: &mut Vec<Diagnostic>) {
     };
     for (line, _) in &f.relaxed {
         push(out, f, Rule::AtomicOrder, *line, what.to_string());
+    }
+}
+
+// --------------------------------------------------------------- FAULT-MASK
+
+fn fault_mask(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if in_test_tree(&f.name) {
+        return;
+    }
+    for func in &f.fns {
+        if func.in_test || !cfg.switch_critical.contains(&func.name) {
+            continue;
+        }
+        let used: Vec<&str> = cfg
+            .fault_hooks
+            .iter()
+            .filter(|h| func.idents.contains(h.as_str()))
+            .map(String::as_str)
+            .collect();
+        if !used.is_empty() {
+            push(
+                out,
+                f,
+                Rule::FaultMask,
+                func.line,
+                format!(
+                    "switch-critical fn `{}` uses fault-injection hook(s) \
+                     {}; the attach/detach path must stay fault-free \
+                     (DESIGN.md §12) — a campaign must never wedge the \
+                     recovery mechanism itself",
+                    func.name,
+                    used.join(", ")
+                ),
+            );
+        }
     }
 }
 

@@ -93,6 +93,13 @@ fn atomic_order_covers_merctrace_paths() {
 }
 
 #[test]
+fn fault_mask_fixture() {
+    let src = include_str!("fixtures/fault_mask_bad.rs");
+    assert!(expectations(src).iter().any(|(_, r)| r == "FAULT-MASK"));
+    check_fixture("fault_mask_bad.rs", src);
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let src = include_str!("fixtures/clean_good.rs");
     assert!(expectations(src).is_empty());

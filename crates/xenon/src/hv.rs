@@ -199,6 +199,14 @@ impl Hypervisor {
     // default), hence the underscore.
     fn count_hypercall(&self, cpu: &Cpu, _probe: &'static str) {
         cpu.tick(costs::HYPERCALL_BASE);
+        // Fault injection (compiled out by default): a transiently
+        // failed hypercall is retried by the caller and a slow one takes
+        // the hypervisor's long path — either way the guest pays a
+        // deterministic cycle penalty on top of the base cost.
+        let penalty = faultgen::hypercall_site!(cpu.id, cpu.cycles());
+        if penalty != 0 {
+            cpu.tick(penalty);
+        }
         self.stats.hypercalls.fetch_add(1, Ordering::Relaxed);
         merctrace::counter!(cpu.id, "xenon.hypercall", 1, cpu.cycles());
         merctrace::counter!(cpu.id, _probe, 1, cpu.cycles());

@@ -10,6 +10,7 @@ fn bench_ablation(c: &mut Criterion) {
     for strategy in [
         TrackingStrategy::RecomputeOnSwitch,
         TrackingStrategy::ActiveTracking,
+        TrackingStrategy::DirtyRecompute,
     ] {
         let (bed, mercury) = build_mn_with_strategy(strategy);
         let cpu = bed.machine.boot_cpu();

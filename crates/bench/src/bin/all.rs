@@ -1,7 +1,7 @@
 //! Run every experiment and dump a JSON artifact for EXPERIMENTS.md.
 
 use mercury::TrackingStrategy;
-use mercury_bench::measure_switch_times;
+use mercury_bench::{measure_sharded_recompute, measure_switch_times};
 use mercury_workloads::lmbench::LmbenchIters;
 use mercury_workloads::report::{app_figure, lmbench_table};
 
@@ -16,6 +16,8 @@ fn main() {
     println!("{}", f4.render());
     let sw = measure_switch_times(TrackingStrategy::RecomputeOnSwitch, 20);
     let sw_track = measure_switch_times(TrackingStrategy::ActiveTracking, 20);
+    let sw_dirty = measure_switch_times(TrackingStrategy::DirtyRecompute, 20);
+    let sharded = measure_sharded_recompute(4, 10);
     println!(
         "Mode switch (recompute):   attach {:.1} us / detach {:.1} us",
         sw.attach_us, sw.detach_us
@@ -24,10 +26,23 @@ fn main() {
         "Mode switch (tracking):    attach {:.1} us / detach {:.1} us",
         sw_track.attach_us, sw_track.detach_us
     );
+    println!(
+        "Mode switch (dirty):       cold attach {:.1} us / warm {:.1} us / detach {:.1} us",
+        sw_dirty.cold_attach_us, sw_dirty.warm_attach_us, sw_dirty.detach_us
+    );
+    println!(
+        "Sharded recompute ({} CPUs): serial {:.1} us / sharded {:.1} us ({:.2}x)",
+        sharded.cpus, sharded.serial_pginfo_us, sharded.sharded_pginfo_us, sharded.speedup
+    );
 
     let artifact = serde_json::json!({
         "table1": t1, "table2": t2, "fig3": f3, "fig4": f4,
-        "mode_switch": { "recompute": sw, "active_tracking": sw_track },
+        "mode_switch": {
+            "recompute": sw,
+            "active_tracking": sw_track,
+            "dirty_recompute": sw_dirty,
+            "sharded_recompute": sharded,
+        },
     });
     std::fs::write(
         "bench_results.json",

@@ -8,8 +8,8 @@
 //! | `table2` | Table 2 — lmbench latencies, SMP |
 //! | `fig3` | Fig. 3 — relative application performance, uniprocessor |
 //! | `fig4` | Fig. 4 — relative application performance, SMP |
-//! | `mode_switch` | §7.4 — mode switch times |
-//! | `ablation_tracking` | §5.1.2 — recompute vs active tracking |
+//! | `mode_switch` | §7.4 — mode switch times, plus sharded-vs-serial attach |
+//! | `ablation_tracking` | §5.1.2 — recompute vs active tracking vs dirty recompute |
 //! | `switch_timeline` | §7.3 — per-phase switch decomposition (merctrace) |
 //! | `fault_campaign` | DESIGN.md §12 — seeded dependability campaigns (`faultgen_results.json`) |
 //! | `all` | everything above, plus a JSON dump for EXPERIMENTS.md |
@@ -18,102 +18,70 @@
 //! workloads (host-time performance of the simulator itself).
 
 use mercury::{Mercury, SwitchOutcome, TrackingStrategy};
-use mercury_workloads::configs::{SysKind, TestBed};
+use mercury_workloads::configs::{switch_with_peers, SysKind, TestBed};
 use simx86::costs::cycles_to_us;
+use std::sync::atomic::Ordering;
 
 /// Measured mode-switch times for one strategy.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct SwitchTimes {
     /// Strategy name.
     pub strategy: String,
-    /// Mean native→virtual time (µs).
+    /// Mean native→virtual time (µs), all samples.
     pub attach_us: f64,
+    /// First (cold) native→virtual time (µs).  For `DirtyRecompute`
+    /// this is a full-table validation; later attaches revalidate only
+    /// the frames dirtied since the last detach.
+    pub cold_attach_us: f64,
+    /// Mean of the warm re-attaches (µs): every sample after the first.
+    pub warm_attach_us: f64,
     /// Mean virtual→native time (µs).
     pub detach_us: f64,
     /// Samples taken.
     pub samples: u32,
 }
 
+/// Sharded-vs-serial attach-time `page_info` recompute on an SMP rig
+/// (§5.4 work phase: parked rendezvous peers pull frame chunks).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ShardedRecompute {
+    /// Simulated CPUs on the rig (1 control processor + peers).
+    pub cpus: usize,
+    /// Mean attach-time recompute cost, serial walk on the CP (µs).
+    pub serial_pginfo_us: f64,
+    /// Mean attach-time recompute cost, sharded across the rendezvoused
+    /// peers — the CP charges the makespan, not the sum (µs).
+    pub sharded_pginfo_us: f64,
+    /// `serial / sharded`.
+    pub speedup: f64,
+    /// Samples per variant.
+    pub samples: u32,
+}
+
 /// Measure attach/detach round trips on a fresh M-N system.
 pub fn measure_switch_times(strategy: TrackingStrategy, samples: u32) -> SwitchTimes {
-    let bed = TestBed::build(SysKind::MN, 1);
-    let mercury: &std::sync::Arc<Mercury> = bed.mercury.as_ref().expect("M-N testbed has mercury");
-    let cpu = bed.machine.boot_cpu();
-    // Rebuild with the requested strategy if it differs.
-    let mercury = if strategy == mercury.strategy() {
-        std::sync::Arc::clone(mercury)
+    let bed = if strategy == TrackingStrategy::RecomputeOnSwitch {
+        TestBed::build(SysKind::MN, 1)
     } else {
-        // Strategy is fixed at install; build a dedicated bed.
-        let bed2 = build_mn_with_strategy(strategy);
-        return measure_on(&bed2, samples);
+        TestBed::build_mn_with_strategy(1, strategy)
     };
-    measure_on_parts(&bed, &mercury, cpu, samples, strategy)
+    measure_on(&bed, samples)
 }
 
-/// Build an M-N testbed with an explicit frame-accounting strategy
-/// (the standard testbed always uses the paper's recompute default).
+/// Build a uniprocessor M-N testbed with an explicit frame-accounting
+/// strategy (the standard testbed always uses the paper's recompute
+/// default).  Kept for the ablation binaries; delegates to
+/// [`TestBed::build_mn_with_strategy`].
 pub fn build_mn_with_strategy(strategy: TrackingStrategy) -> (TestBed, std::sync::Arc<Mercury>) {
-    // The TestBed always uses RecomputeOnSwitch; rebuild MN manually for
-    // the alternative strategy.
-    use nimbus::drivers::block::NativeBlockDriver;
-    use nimbus::drivers::net::NativeNetDriver;
-    use nimbus::kernel::{BootMode, KernelConfig};
-    use simx86::{Machine, MachineConfig};
-    use std::sync::Arc;
-    use xenon::Hypervisor;
-
-    let machine = Machine::new(MachineConfig {
-        num_cpus: 1,
-        mem_frames: 16 * 1024,
-        disk_sectors: 96 * 1024,
-    });
-    let hv = Hypervisor::warm_up(&machine);
-    let cpu = machine.boot_cpu();
-    let pool = machine.allocator.alloc_many(cpu, 6 * 1024).unwrap();
-    let kernel = nimbus::Kernel::boot(
-        Arc::clone(&machine),
-        KernelConfig {
-            pool,
-            mode: BootMode::Bare,
-            fs_blocks: 8 * 1024,
-            fs_first_block: 1,
-        },
-    )
-    .unwrap();
-    let bounce = machine.allocator.alloc(cpu).unwrap();
-    kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
-    kernel.set_net_driver(NativeNetDriver::new(Arc::clone(&machine)));
-    let mercury = Mercury::install(Arc::clone(&kernel), hv, strategy).unwrap();
-    (
-        TestBed {
-            kind: SysKind::MN,
-            machine,
-            kernel,
-            hv: None,
-            mercury: Some(Arc::clone(&mercury)),
-            driver_kernel: None,
-            dom: None,
-        },
-        mercury,
-    )
+    let bed = TestBed::build_mn_with_strategy(1, strategy);
+    let mercury = std::sync::Arc::clone(bed.mercury.as_ref().expect("M-N testbed has mercury"));
+    (bed, mercury)
 }
 
-fn measure_on(parts: &(TestBed, std::sync::Arc<Mercury>), samples: u32) -> SwitchTimes {
-    let (bed, mercury) = parts;
-    let cpu = bed.machine.boot_cpu();
-    measure_on_parts(bed, mercury, cpu, samples, mercury.strategy())
-}
-
-fn measure_on_parts(
-    bed: &TestBed,
-    mercury: &std::sync::Arc<Mercury>,
-    cpu: &std::sync::Arc<simx86::Cpu>,
-    samples: u32,
-    strategy: TrackingStrategy,
-) -> SwitchTimes {
-    let _ = bed;
-    // Exercise the system a little so real processes/tables exist.
-    let sess = nimbus::Session::new(std::sync::Arc::clone(mercury.kernel()), 0);
+/// Warm a bed the same way for every measurement: a real process and a
+/// 128-page dirty mapping, so the transfer functions have work to do.
+fn warm(bed: &TestBed) -> nimbus::Session {
+    let sess = bed.session(0);
     sess.exec("lat_proc").expect("exec");
     let va = sess
         .mmap(128, nimbus::mm::Prot::RW, nimbus::kernel::MmapBacking::Anon)
@@ -122,24 +90,77 @@ fn measure_on_parts(
         sess.poke(simx86::VirtAddr(va.0 + p * 4096), p)
             .expect("touch");
     }
+    sess
+}
+
+fn measure_on(bed: &TestBed, samples: u32) -> SwitchTimes {
+    let mercury = bed.mercury.as_ref().expect("M-N testbed has mercury");
+    let cpu = bed.machine.boot_cpu();
+    let _sess = warm(bed);
     let mut attach_total = 0u64;
     let mut detach_total = 0u64;
-    for _ in 0..samples {
+    let mut cold = 0u64;
+    for i in 0..samples {
         let SwitchOutcome::Completed { cycles } = mercury.switch_to_virtual(cpu).expect("attach")
         else {
             panic!("attach did not complete")
         };
         attach_total += cycles;
+        if i == 0 {
+            cold = cycles;
+        }
         let SwitchOutcome::Completed { cycles } = mercury.switch_to_native(cpu).expect("detach")
         else {
             panic!("detach did not complete")
         };
         detach_total += cycles;
     }
+    let warm_samples = samples.saturating_sub(1).max(1);
     SwitchTimes {
-        strategy: format!("{strategy:?}"),
+        strategy: format!("{:?}", mercury.strategy()),
         attach_us: cycles_to_us(attach_total) / samples as f64,
+        cold_attach_us: cycles_to_us(cold),
+        warm_attach_us: cycles_to_us(attach_total - cold) / warm_samples as f64,
         detach_us: cycles_to_us(detach_total) / samples as f64,
+        samples,
+    }
+}
+
+/// Measure the attach-time `page_info` recompute on a `cpus`-way M-N
+/// rig, serial vs sharded.  The peers are serviced by temporary host
+/// threads exactly as the SMP testbeds do; the measured quantity is
+/// `SwitchStats::last_pginfo_cycles` — the simulated cycles the control
+/// processor spent in the recompute phase (serial: the whole walk;
+/// sharded: dispatch + its own fair share of chunks + the makespan
+/// correction for the slowest peer).
+pub fn measure_sharded_recompute(cpus: usize, samples: u32) -> ShardedRecompute {
+    assert!(cpus >= 2, "sharding needs at least one peer");
+    let bed = TestBed::build_mn_with_strategy(cpus, TrackingStrategy::RecomputeOnSwitch);
+    let mercury = bed.mercury.as_ref().expect("M-N testbed has mercury");
+    let _sess = warm(&bed);
+
+    let mut totals = [0u64; 2]; // [serial, sharded]
+    for (slot, sharded) in [(0usize, false), (1, true)] {
+        mercury.set_sharded_recompute(sharded);
+        for _ in 0..samples {
+            let out = switch_with_peers(&bed.machine, mercury, true);
+            assert!(
+                matches!(out, SwitchOutcome::Completed { .. }),
+                "attach did not complete"
+            );
+            totals[slot] += mercury.stats.last_pginfo_cycles.load(Ordering::Relaxed);
+            switch_with_peers(&bed.machine, mercury, false);
+        }
+    }
+    mercury.set_sharded_recompute(true);
+
+    let serial_us = cycles_to_us(totals[0]) / samples as f64;
+    let sharded_us = cycles_to_us(totals[1]) / samples as f64;
+    ShardedRecompute {
+        cpus,
+        serial_pginfo_us: serial_us,
+        sharded_pginfo_us: sharded_us,
+        speedup: serial_us / sharded_us,
         samples,
     }
 }

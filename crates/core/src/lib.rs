@@ -29,7 +29,12 @@
 //!   switch) — both implemented, compared by the ablation bench.
 //! * **SMP rendezvous** ([`rendezvous`], §5.4): the control processor
 //!   IPIs its peers and coordinates the mode switch through shared
-//!   atomic variables so no core ever runs in the wrong mode.
+//!   atomic variables so no core ever runs in the wrong mode.  The
+//!   rendezvous rounds are generation-stamped so a late IPI from an
+//!   aborted round can never pollute a later one, and the parked peers
+//!   double as workers: they pull chunks of the attach-time page-frame
+//!   recompute from a shared queue ([`shard`]) instead of spinning,
+//!   turning §7.4's dominant serial cost into a parallel one.
 //! * **Usage scenarios** ([`scenarios`], §6): checkpoint/restart,
 //!   self-healing, and live kernel update.  (Online hardware
 //!   maintenance and HPC failover live in the `mercury-cluster` crate,
@@ -86,6 +91,7 @@ pub mod pgtrack;
 pub mod refcount;
 pub mod rendezvous;
 pub mod scenarios;
+pub mod shard;
 pub mod switch;
 pub mod vo;
 

@@ -2,7 +2,8 @@
 //!
 //! When the VMM is detached it "loses track of the usage information" of
 //! the kernel's page frames.  The paper implements two ways to make the
-//! VMM's `page_info` table correct again, and so do we:
+//! VMM's `page_info` table correct again; we add a third that splits the
+//! difference:
 //!
 //! * [`TrackingStrategy::RecomputeOnSwitch`] — the default.  On attach,
 //!   walk every frame the OS owns and re-derive owner/type/count from
@@ -17,21 +18,38 @@
 //!   [in native mode] and saves only a small amount of mode switch
 //!   time"; they therefore prefer recompute, and so does
 //!   [`crate::Mercury::install`]'s default.
+//! * [`TrackingStrategy::DirtyRecompute`] — snapshot the validation
+//!   results at detach and, while native, merely *set a dirty bit* on
+//!   the containing table frame at each PTE write (one byte store,
+//!   [`simx86::costs::DIRTY_TRACK_PER_PTE`] ≪ the active mirror's
+//!   [`simx86::costs::ACTIVE_TRACK_PER_PTE`]).  Re-attach revalidates
+//!   the dirtied frames at the full scan rate and restores the clean
+//!   ones at the snapshot-restore rate, so an idle detach window makes
+//!   the re-attach nearly free.  This is the low-overhead-monitoring
+//!   trade-off of the kernel-object-introspection line of work applied
+//!   to Mercury's accounting problem.
 //!
 //! **Modelling note** (see DESIGN.md): the mirror's bookkeeping work is
 //! charged per mutation through the native VO
-//! ([`simx86::costs::ACTIVE_TRACK_PER_PTE`]); at attach time the
-//! correctness path reuses the same validator as recompute at a mirror
-//! adoption rate ([`ADOPT_PER_FRAME`]) instead of the full scan rate.
-//! A property test asserts the two strategies produce identical
-//! `page_info` state, which is the invariant the paper's design relies
-//! on.
+//! ([`simx86::costs::ACTIVE_TRACK_PER_PTE`] /
+//! [`simx86::costs::DIRTY_TRACK_PER_PTE`]); at attach time the
+//! correctness path reuses the same validator as recompute — at a
+//! mirror adoption rate ([`ADOPT_PER_FRAME`]) for active tracking, and
+//! at a dirty/clean blended rate ([`TrackingStrategy::attach_cost`])
+//! for dirty recompute.  A property test asserts all three strategies
+//! produce identical `page_info` state, which is the invariant the
+//! paper's design relies on.
 
 use serde::{Deserialize, Serialize};
 
 /// Per-frame cost of adopting the actively-maintained mirror at attach
 /// (a table copy, not a walk of the page tables).
 pub const ADOPT_PER_FRAME: u64 = 3;
+
+/// Per-frame cost of restoring a *clean* frame's accounting from the
+/// detach-time snapshot under [`TrackingStrategy::DirtyRecompute`]
+/// (a copy plus the dirty-bit check).
+pub const RESTORE_PER_FRAME: u64 = 5;
 
 /// How the VMM's frame accounting is kept correct across detached
 /// periods.
@@ -42,14 +60,36 @@ pub enum TrackingStrategy {
     RecomputeOnSwitch,
     /// Mirror every native page-table mutation while detached.
     ActiveTracking,
+    /// Snapshot at detach, mark table frames dirty on native PTE
+    /// writes, revalidate only the dirty frames at re-attach.
+    DirtyRecompute,
 }
 
 impl TrackingStrategy {
-    /// Cycles per owned frame charged during attach.
+    /// Cycles per owned frame charged during attach, at the strategy's
+    /// *uniform* rate (dirty recompute's blended rate needs the dirty
+    /// count — see [`TrackingStrategy::attach_cost`]).
     pub fn attach_per_frame_cost(self) -> u64 {
         match self {
             TrackingStrategy::RecomputeOnSwitch => simx86::costs::PGINFO_RECOMPUTE_PER_FRAME,
             TrackingStrategy::ActiveTracking => ADOPT_PER_FRAME,
+            // Without a detach-time baseline every frame counts as
+            // dirty: the first attach is a full recompute.
+            TrackingStrategy::DirtyRecompute => simx86::costs::PGINFO_RECOMPUTE_PER_FRAME,
+        }
+    }
+
+    /// Total attach-time accounting cycles for `owned` frames of which
+    /// `dirty` were mutated since the last detach snapshot (`dirty` is
+    /// ignored by the uniform-rate strategies).
+    pub fn attach_cost(self, owned: usize, dirty: usize) -> u64 {
+        match self {
+            TrackingStrategy::DirtyRecompute => {
+                let dirty = dirty.min(owned) as u64;
+                let clean = owned as u64 - dirty;
+                dirty * simx86::costs::PGINFO_RECOMPUTE_PER_FRAME + clean * RESTORE_PER_FRAME
+            }
+            _ => self.attach_per_frame_cost() * owned as u64,
         }
     }
 }
@@ -67,6 +107,27 @@ mod tests {
         assert!(
             TrackingStrategy::RecomputeOnSwitch.attach_per_frame_cost()
                 > TrackingStrategy::ActiveTracking.attach_per_frame_cost() * 5
+        );
+    }
+
+    #[test]
+    fn dirty_recompute_blends_scan_and_restore_rates() {
+        let s = TrackingStrategy::DirtyRecompute;
+        // All-dirty degenerates to the full recompute.
+        assert_eq!(
+            s.attach_cost(100, 100),
+            TrackingStrategy::RecomputeOnSwitch.attach_cost(100, 0)
+        );
+        // All-clean is the snapshot-restore rate: ≥5× cheaper than a
+        // full recompute (the warm re-attach acceptance bar).
+        assert!(s.attach_cost(100, 0) * 5 <= s.attach_cost(100, 100));
+        // Blend is monotone in the dirty count and clamps at `owned`.
+        assert!(s.attach_cost(100, 10) < s.attach_cost(100, 20));
+        assert_eq!(s.attach_cost(100, 200), s.attach_cost(100, 100));
+        // Uniform strategies ignore the dirty count.
+        assert_eq!(
+            TrackingStrategy::ActiveTracking.attach_cost(100, 50),
+            ADOPT_PER_FRAME * 100
         );
     }
 }

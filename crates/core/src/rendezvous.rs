@@ -13,6 +13,30 @@
 //! the peer CPUs run on real host threads, so the protocol is exercised
 //! under genuine concurrency.
 //!
+//! ## Round generations
+//!
+//! A rendezvous can abort (the CP times out waiting for a peer that is
+//! not servicing interrupts).  The IPI it broadcast is still pending on
+//! that peer, and may be serviced arbitrarily late — possibly while a
+//! *later* round is open.  If such a ghost check-in were counted, the
+//! CP of the later round could start the global state transfer while a
+//! real peer CPU is still executing — the exact hazard §5.4's counting
+//! exists to prevent.  Both shared counters therefore carry a **round
+//! generation (epoch)** in their high bits: `begin` bumps the epoch,
+//! and every check-in/completion is a compare-and-swap that verifies
+//! the epoch it targets is still the one in the word.  A late arrival
+//! from an aborted round fails the epoch check and is rejected with
+//! [`RendezvousError::Stale`] without ever touching the count.
+//!
+//! ## The work phase
+//!
+//! While parked between check-in and the go flag, peers would spin
+//! uselessly for the whole state transfer.  [`Rendezvous::
+//! check_in_and_wait_serving`] instead polls a caller-supplied closure
+//! each iteration; Mercury feeds it chunks of the attach-time
+//! `page_info` recompute so the parked capacity validates frames
+//! concurrently with the CP (see `crate::shard`).
+//!
 //! The full handshake, with the peer on its own thread as a second CPU
 //! would be (in the real switch path the peer side runs inside the
 //! `SELF_VIRT_RENDEZVOUS` interrupt handler):
@@ -39,7 +63,7 @@
 //! assert!(!rv.in_progress());
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How long a spinning participant waits before declaring the protocol
@@ -47,20 +71,46 @@ use std::time::{Duration, Instant};
 /// service points).
 pub const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Round epoch held in the high half of each packed counter word.
+fn epoch_of(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// Check-in / completion count held in the low half.
+fn count_of(word: u64) -> usize {
+    (word & 0xffff_ffff) as usize
+}
+
+/// A fresh counter word for round `epoch` with a zero count.
+fn pack(epoch: u32) -> u64 {
+    (epoch as u64) << 32
+}
+
 /// The shared coordination block.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Rendezvous {
-    /// Peers that acknowledged the IPI ("shared count").
-    ready: AtomicUsize,
+    /// Peers that acknowledged the IPI ("shared count"), packed with
+    /// the round epoch in the high 32 bits.
+    ready: AtomicU64,
     /// CP's go signal ("shared flag").
     go: AtomicBool,
-    /// Peers that finished their per-CPU switch step ("completion").
-    done: AtomicUsize,
+    /// Peers that finished their per-CPU switch step ("completion"),
+    /// packed like `ready`.
+    done: AtomicU64,
     /// A rendezvous is in progress.
     active: AtomicBool,
+    /// Spin patience before a participant declares the protocol wedged
+    /// (configuration, not round state — tests shorten it).
+    timeout: Duration,
     /// Happens-before shadow for the dynamic protocol checker.
     #[cfg(feature = "dyncheck")]
     monitor: crate::dyncheck::RvMonitor,
+}
+
+impl Default for Rendezvous {
+    fn default() -> Rendezvous {
+        Rendezvous::new()
+    }
 }
 
 /// Why a rendezvous failed.
@@ -70,12 +120,30 @@ pub enum RendezvousError {
     Timeout,
     /// A rendezvous was already in flight.
     Busy,
+    /// A check-in or completion targeted a round that is no longer the
+    /// open one — a ghost IPI from an aborted round, rejected without
+    /// polluting the live count.
+    Stale,
 }
 
 impl Rendezvous {
-    /// Fresh block.
+    /// Fresh block with the default [`RENDEZVOUS_TIMEOUT`].
     pub fn new() -> Rendezvous {
-        Rendezvous::default()
+        Rendezvous::with_timeout(RENDEZVOUS_TIMEOUT)
+    }
+
+    /// Fresh block with an explicit spin patience (tests abort rounds
+    /// quickly with this).
+    pub fn with_timeout(timeout: Duration) -> Rendezvous {
+        Rendezvous {
+            ready: AtomicU64::new(0),
+            go: AtomicBool::new(false),
+            done: AtomicU64::new(0),
+            active: AtomicBool::new(false),
+            timeout,
+            #[cfg(feature = "dyncheck")]
+            monitor: crate::dyncheck::RvMonitor::default(),
+        }
     }
 
     /// Is a rendezvous currently in progress?
@@ -83,25 +151,41 @@ impl Rendezvous {
         self.active.load(Ordering::Acquire)
     }
 
-    /// CP side: open the rendezvous.  Fails if one is already running.
-    pub fn begin(&self) -> Result<(), RendezvousError> {
+    /// The generation of the current (or most recent) round.
+    pub fn current_epoch(&self) -> u32 {
+        epoch_of(self.ready.load(Ordering::Acquire))
+    }
+
+    /// Peers counted into the current round so far.
+    pub fn checked_in(&self) -> usize {
+        count_of(self.ready.load(Ordering::Acquire))
+    }
+
+    /// CP side: open the rendezvous and return the new round's epoch.
+    /// Fails if one is already running.
+    pub fn begin(&self) -> Result<u32, RendezvousError> {
         if self.active.swap(true, Ordering::AcqRel) {
             return Err(RendezvousError::Busy);
         }
         #[cfg(feature = "dyncheck")]
         self.monitor.on_begin();
-        self.ready.store(0, Ordering::Release);
-        self.done.store(0, Ordering::Release);
+        let epoch = epoch_of(self.ready.load(Ordering::Acquire)).wrapping_add(1);
+        // Order matters: clear the flag first, then publish the new
+        // epoch words.  A peer can only learn the new epoch from the
+        // `ready` store, which happens-after the flag reset — so no
+        // new-round check-in can observe the previous round's go flag.
         self.go.store(false, Ordering::Release);
-        Ok(())
+        self.done.store(pack(epoch), Ordering::Release);
+        self.ready.store(pack(epoch), Ordering::Release);
+        Ok(epoch)
     }
 
     /// CP side: wait until `peers` CPUs have checked in.  The CP then
     /// performs the global state transfer while every peer is parked,
     /// and releases them with [`Rendezvous::signal_go`].
     pub fn wait_ready(&self, peers: usize) -> Result<(), RendezvousError> {
-        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
-        while self.ready.load(Ordering::Acquire) < peers {
+        let deadline = Instant::now() + self.timeout;
+        while count_of(self.ready.load(Ordering::Acquire)) < peers {
             if Instant::now() > deadline {
                 #[cfg(feature = "dyncheck")]
                 self.monitor.on_abort();
@@ -133,8 +217,8 @@ impl Rendezvous {
     /// CP side: wait for all peers to complete their per-CPU step, then
     /// close the rendezvous.
     pub fn wait_done(&self, peers: usize) -> Result<(), RendezvousError> {
-        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
-        while self.done.load(Ordering::Acquire) < peers {
+        let deadline = Instant::now() + self.timeout;
+        while count_of(self.done.load(Ordering::Acquire)) < peers {
             if Instant::now() > deadline {
                 #[cfg(feature = "dyncheck")]
                 self.monitor.on_abort();
@@ -150,16 +234,59 @@ impl Rendezvous {
         Ok(())
     }
 
-    /// Peer side: check in and spin until the CP raises the go flag.
+    /// Peer side: check in to the current round and spin until the CP
+    /// raises the go flag.
     pub fn check_in_and_wait(&self) -> Result<(), RendezvousError> {
+        let epoch = self.current_epoch();
+        self.check_in_and_wait_serving(epoch, || false)
+    }
+
+    /// Peer side, epoch-pinned: check in to round `epoch` (obtained
+    /// from the CP's published round descriptor) and spin until go.
+    ///
+    /// While parked, `work` is polled every iteration; it returns
+    /// `true` when it performed a unit of work (the CP is alive and
+    /// feeding the queue, so the patience window restarts) and `false`
+    /// when there is nothing to do right now.
+    ///
+    /// The check-in itself is an epoch-guarded compare-and-swap: if the
+    /// target round has been aborted or superseded the call returns
+    /// [`RendezvousError::Stale`] and the count is untouched.
+    pub fn check_in_and_wait_serving(
+        &self,
+        epoch: u32,
+        mut work: impl FnMut() -> bool,
+    ) -> Result<(), RendezvousError> {
+        // Reject before counting: a ghost IPI from an aborted round
+        // must never pollute a later round's count.
+        if !self.in_progress() {
+            return Err(RendezvousError::Stale);
+        }
+        loop {
+            let cur = self.ready.load(Ordering::Acquire);
+            if epoch_of(cur) != epoch {
+                return Err(RendezvousError::Stale);
+            }
+            if self
+                .ready
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
         #[cfg(feature = "dyncheck")]
         self.monitor.on_check_in();
-        self.ready.fetch_add(1, Ordering::AcqRel);
-        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+        let mut deadline = Instant::now() + self.timeout;
         while !self.go.load(Ordering::Acquire) {
-            if !self.in_progress() {
-                // CP aborted (e.g. its own timeout).
+            if epoch_of(self.ready.load(Ordering::Acquire)) != epoch || !self.in_progress() {
+                // CP aborted (e.g. its own timeout) or the round was
+                // superseded while we were parked.
                 return Err(RendezvousError::Timeout);
+            }
+            if work() {
+                deadline = Instant::now() + self.timeout;
+                continue;
             }
             if Instant::now() > deadline {
                 return Err(RendezvousError::Timeout);
@@ -172,17 +299,40 @@ impl Rendezvous {
         Ok(())
     }
 
-    /// Peer side: report the per-CPU switch step complete.
+    /// Peer side: report the per-CPU switch step of the current round
+    /// complete.
     pub fn complete(&self) {
-        #[cfg(feature = "dyncheck")]
-        self.monitor.on_complete();
-        self.done.fetch_add(1, Ordering::AcqRel);
+        let epoch = epoch_of(self.done.load(Ordering::Acquire));
+        self.complete_for(epoch);
+    }
+
+    /// Peer side, epoch-pinned: report completion for round `epoch`.
+    /// Returns whether the completion was counted — a stale completion
+    /// (round aborted and superseded) is dropped, mirroring the
+    /// check-in guard.
+    pub fn complete_for(&self, epoch: u32) -> bool {
+        loop {
+            let cur = self.done.load(Ordering::Acquire);
+            if epoch_of(cur) != epoch {
+                return false;
+            }
+            #[cfg(feature = "dyncheck")]
+            self.monitor.on_complete();
+            if self
+                .done
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return true;
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     #[test]
@@ -271,5 +421,92 @@ mod tests {
         for p in peers {
             p.join().unwrap();
         }
+    }
+
+    #[test]
+    fn ghost_check_in_from_aborted_round_is_rejected() {
+        // Regression for the §5.4 ghost check-in hazard: the old code
+        // incremented `ready` *before* checking `active`, so a late IPI
+        // from an aborted round polluted the next round's count and the
+        // CP could start the state transfer while a real peer CPU was
+        // still executing.
+        let r = Arc::new(Rendezvous::with_timeout(Duration::from_millis(50)));
+
+        // Round 1: no peer ever services the IPI; the CP times out.
+        let epoch1 = r.begin().unwrap();
+        assert_eq!(r.wait_ready(1).unwrap_err(), RendezvousError::Timeout);
+        assert!(!r.in_progress());
+
+        // The aborted round's IPI is finally serviced, *between*
+        // rounds: rejected without counting.
+        assert_eq!(
+            r.check_in_and_wait_serving(epoch1, || false).unwrap_err(),
+            RendezvousError::Stale
+        );
+        assert_eq!(r.checked_in(), 0, "ghost check-in polluted the count");
+
+        // Round 2 opens with one real (but slow) peer expected.  The
+        // ghost from round 1 arrives *while round 2 is open* — the
+        // pre-fix code counted it here (active is true again) and
+        // wait_ready(1) sailed through with no real peer parked.
+        let epoch2 = r.begin().unwrap();
+        assert_ne!(epoch2, epoch1);
+        assert_eq!(
+            r.check_in_and_wait_serving(epoch1, || false).unwrap_err(),
+            RendezvousError::Stale
+        );
+        assert_eq!(r.checked_in(), 0, "stale epoch counted into a live round");
+        assert_eq!(
+            r.wait_ready(1).unwrap_err(),
+            RendezvousError::Timeout,
+            "round 2 must still wait for its real peer"
+        );
+
+        // A stale completion is likewise dropped once a new round has
+        // rolled the epoch.
+        let epoch3 = r.begin().unwrap();
+        assert!(!r.complete_for(epoch1));
+        assert!(r.complete_for(epoch3));
+        r.wait_ready_and_go(0).unwrap();
+    }
+
+    #[test]
+    fn parked_peers_serve_work_until_go() {
+        // The §5.4 work phase: while parked between check-in and go,
+        // peers drain a shared queue instead of spinning.
+        let r = Arc::new(Rendezvous::new());
+        let epoch = r.begin().unwrap();
+        let work = Arc::new(AtomicUsize::new(0));
+        const ITEMS: usize = 64;
+        let peers: Vec<_> = (0..2)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let work = Arc::clone(&work);
+                std::thread::spawn(move || {
+                    r.check_in_and_wait_serving(epoch, || {
+                        work.fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                            (n < ITEMS).then_some(n + 1)
+                        })
+                        .is_ok()
+                    })
+                    .unwrap();
+                    assert!(r.complete_for(epoch));
+                })
+            })
+            .collect();
+        r.wait_ready(2).unwrap();
+        // All queued work is drained by the parked peers before the CP
+        // releases them.
+        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+        while work.load(Ordering::Acquire) < ITEMS {
+            assert!(Instant::now() < deadline, "peers never drained the work");
+            std::thread::yield_now();
+        }
+        r.signal_go();
+        r.wait_done(2).unwrap();
+        for p in peers {
+            p.join().unwrap();
+        }
+        assert_eq!(work.load(Ordering::Acquire), ITEMS);
     }
 }

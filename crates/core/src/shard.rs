@@ -1,0 +1,240 @@
+//! The shared work queue behind the parallel attach-time recompute.
+//!
+//! §7.4 of the paper attributes most of the native→virtual switch cost
+//! to recomputing the type/count information for all page frames — and
+//! during exactly that window the §5.4 rendezvous parks every peer CPU
+//! in a spin loop.  This module reclaims that capacity: the CP chops
+//! the recompute into chunks, publishes them in a [`WorkQueue`], and
+//! the parked peers pull and execute chunks from inside their
+//! rendezvous wait (see
+//! [`Rendezvous::check_in_and_wait_serving`](crate::rendezvous::Rendezvous::check_in_and_wait_serving)),
+//! each charging its *own* simulated cycle clock.  The wall-clock cost
+//! of the phase becomes the **max** per-CPU spend instead of the serial
+//! sum.
+//!
+//! The queue is generic over the chunk type — the switch path uses it
+//! with its own chunk enum, and the tests here exercise the claiming /
+//! completion / failure protocol with plain integers.
+//!
+//! Protocol (per attach):
+//!
+//! 1. CP builds the chunk list and publishes the queue.
+//! 2. Workers (parked peers *and* the CP itself) loop: [`WorkQueue::pull`]
+//!    claims one chunk, the caller executes it, then reports
+//!    [`WorkQueue::complete_one`] with the cycles it spent.
+//! 3. A validation error flags [`WorkQueue::fail`]: no further chunks
+//!    are handed out, in-flight chunks still retire normally.
+//! 4. CP calls [`WorkQueue::wait_drained`]: every *claimed* chunk has
+//!    completed, so no worker is still touching shared state.  Only
+//!    then may the CP tear the queue down and (on success) signal go.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Frames per recompute chunk.  Small enough that an 8K-frame pool
+/// splits into ~32 chunks (good load balance on 2–8 CPUs), large
+/// enough that the per-chunk dispatch cost
+/// (`simx86::costs::SHARD_CHUNK_DISPATCH`) stays noise.
+pub const SHARD_CHUNK_FRAMES: usize = 256;
+
+/// A claim-once work queue shared between the CP and the rendezvoused
+/// peers during the attach-time recompute.
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    items: Vec<T>,
+    /// Next unclaimed index; grows past `items.len()` harmlessly.
+    next: AtomicUsize,
+    /// Chunks whose workers have reported completion.
+    completed: AtomicUsize,
+    /// A worker hit a validation error; stop handing out chunks.
+    failed: AtomicBool,
+    /// Simulated cycles charged per worker CPU id.
+    spent: Mutex<BTreeMap<u32, u64>>,
+    /// Happens-before shadow for the dynamic protocol checker.
+    #[cfg(feature = "dyncheck")]
+    pub(crate) monitor: crate::dyncheck::WorkMonitor,
+}
+
+impl<T> WorkQueue<T> {
+    /// A fresh queue over `items`.
+    pub fn new(items: Vec<T>) -> WorkQueue<T> {
+        WorkQueue {
+            items,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
+            spent: Mutex::new(BTreeMap::new()),
+            #[cfg(feature = "dyncheck")]
+            monitor: crate::dyncheck::WorkMonitor::default(),
+        }
+    }
+
+    /// Total number of chunks published.
+    pub fn total(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Chunks claimed so far (monotonic, capped at `total`).
+    fn claimed(&self) -> usize {
+        self.next.load(Ordering::Acquire).min(self.items.len())
+    }
+
+    /// Claim the next chunk, or `None` when the queue is exhausted or
+    /// failed.  Every successful `pull` **must** be paired with a
+    /// [`WorkQueue::complete_one`] — even on the error path — or
+    /// [`WorkQueue::wait_drained`] will wedge.
+    pub fn pull(&self) -> Option<(usize, &T)> {
+        if self.failed() {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::AcqRel);
+        self.items.get(i).map(|item| (i, item))
+    }
+
+    /// Report one claimed chunk finished, charging `cycles` of
+    /// simulated work to worker `cpu`.
+    pub fn complete_one(&self, cpu: u32, cycles: u64) {
+        *self.spent.lock().unwrap().entry(cpu).or_insert(0) += cycles;
+        // Shadow publish before the real count bump: a CP that observes
+        // the bump is guaranteed to join this completion's clock.
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_chunk_complete();
+        self.completed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Flag a validation failure: `pull` returns `None` from now on.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Has a worker flagged a failure?
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Every claimed chunk has completed, and either all chunks were
+    /// claimed or the queue failed (so no more ever will be).  Once
+    /// true, no worker is still executing a chunk.
+    pub fn drained(&self) -> bool {
+        let claimed = self.claimed();
+        self.completed.load(Ordering::Acquire) >= claimed
+            && (claimed == self.items.len() || self.failed())
+    }
+
+    /// CP side: spin (host wall-clock) until [`WorkQueue::drained`] or
+    /// `timeout`.  Returns whether the queue drained; the caller then
+    /// checks [`WorkQueue::failed`] for the outcome.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.drained() {
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        #[cfg(feature = "dyncheck")]
+        self.monitor.on_drained(self.completed.load(Ordering::Acquire));
+        true
+    }
+
+    /// The largest per-CPU cycle spend — the makespan of the work
+    /// phase, which is what the CP charges to wall-clock (everyone ran
+    /// concurrently).
+    pub fn max_spent(&self) -> u64 {
+        self.spent
+            .lock()
+            .unwrap()
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Cycles charged by worker `cpu` (0 if it never completed a chunk).
+    pub fn spent_of(&self, cpu: u32) -> u64 {
+        self.spent.lock().unwrap().get(&cpu).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn chunks_are_claimed_exactly_once() {
+        let q = Arc::new(WorkQueue::new((0u32..100).collect::<Vec<_>>()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let workers: Vec<_> = (0..4)
+            .map(|cpu| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    while let Some((_, &item)) = q.pull() {
+                        seen.lock().unwrap().push(item);
+                        q.complete_one(cpu, 10);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(q.wait_drained(Duration::from_secs(5)));
+        assert!(!q.failed());
+        let mut items = seen.lock().unwrap().clone();
+        items.sort_unstable();
+        assert_eq!(items, (0u32..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spent_is_tracked_per_cpu_and_max_is_makespan() {
+        let q = WorkQueue::new(vec![(); 3]);
+        q.pull().unwrap();
+        q.complete_one(0, 100);
+        q.pull().unwrap();
+        q.complete_one(1, 250);
+        q.pull().unwrap();
+        q.complete_one(1, 50);
+        assert!(q.pull().is_none());
+        assert_eq!(q.spent_of(0), 100);
+        assert_eq!(q.spent_of(1), 300);
+        assert_eq!(q.spent_of(7), 0);
+        assert_eq!(q.max_spent(), 300);
+        assert!(q.drained());
+    }
+
+    #[test]
+    fn fail_stops_dispatch_but_in_flight_chunks_retire() {
+        let q = WorkQueue::new(vec![(); 10]);
+        let (_, _) = q.pull().unwrap();
+        let (_, _) = q.pull().unwrap();
+        q.fail();
+        assert!(q.pull().is_none(), "no dispatch after failure");
+        assert!(!q.drained(), "two claimed chunks still in flight");
+        q.complete_one(0, 1);
+        q.complete_one(1, 1);
+        assert!(q.drained());
+        assert!(q.wait_drained(Duration::from_millis(10)));
+        assert!(q.failed());
+    }
+
+    #[test]
+    fn wait_drained_times_out_on_lost_chunk() {
+        let q = WorkQueue::new(vec![(); 1]);
+        q.pull().unwrap();
+        // The claimed chunk never completes.
+        assert!(!q.wait_drained(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn empty_queue_is_immediately_drained() {
+        let q: WorkQueue<u32> = WorkQueue::new(Vec::new());
+        assert!(q.drained());
+        assert!(q.wait_drained(Duration::from_millis(1)));
+        assert_eq!(q.max_spent(), 0);
+    }
+}

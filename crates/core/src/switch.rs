@@ -46,16 +46,18 @@
 
 use crate::pgtrack::TrackingStrategy;
 use crate::refcount::VoRefCount;
-use crate::rendezvous::{Rendezvous, RendezvousError};
+use crate::rendezvous::{Rendezvous, RendezvousError, RENDEZVOUS_TIMEOUT};
+use crate::shard::{WorkQueue, SHARD_CHUNK_FRAMES};
 use crate::vo::CountedVo;
 use nimbus::paravirt::{BareOps, ExecMode, HvmOps, PvOps, XenOps};
 use nimbus::Kernel;
 use parking_lot::Mutex;
 use simx86::cpu::{vectors, InterruptSink, PrivLevel, TrapFrame};
+use simx86::mem::FrameNum;
 use simx86::paging::Pte;
 use simx86::vmx::Ept;
 use simx86::{costs, Cpu, Machine};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use xenon::{Domain, Hypervisor};
 
@@ -158,6 +160,28 @@ pub struct SwitchStats {
     /// watchdog reads this to decide when to fall back to native-mode
     /// recovery (DESIGN.md §12).
     pub rendezvous_failures: AtomicU64,
+    /// Wall-clock (makespan) cycles of the most recent attach-time
+    /// frame-accounting phase — the §7.4 recompute, serial or sharded.
+    pub last_pginfo_cycles: AtomicU64,
+}
+
+/// Descriptor of the rendezvous round in flight, published by the
+/// control processor for its peers.  The epoch pins every peer-side
+/// rendezvous operation to *this* round so a stale interrupt from an
+/// aborted round can never check into (or complete) a later one.
+#[derive(Debug, Clone, Copy)]
+struct RvRound {
+    epoch: u32,
+    target: ExecMode,
+}
+
+/// One unit of the sharded attach-time recompute (§5.4 work phase).
+#[derive(Debug, Clone, Copy)]
+enum ShardChunk {
+    /// A slice of the per-frame accounting scan: pure simulated cycles.
+    Scan(u64),
+    /// Validate one base table (and the L1s it claims) concurrently.
+    Pgd(FrameNum),
 }
 
 /// The self-virtualization engine for one kernel.
@@ -175,8 +199,20 @@ pub struct Mercury {
     ept: Option<Arc<Ept>>,
     hvm_vo: Option<Arc<CountedVo>>,
     rendezvous: Rendezvous,
-    /// Target of the rendezvous in flight (peers read it).
-    rv_target: Mutex<Option<ExecMode>>,
+    /// The rendezvous round in flight (peers read it).  Set only after
+    /// [`Rendezvous::begin`] succeeds and cleared on *every* exit path,
+    /// so a failed round can never leave a stale target for a later
+    /// peer to reload into (the split-brain hazard of §5.4).
+    rv_round: Mutex<Option<RvRound>>,
+    /// Work queue of the sharded recompute, published while parked
+    /// peers should pull chunks; `None` outside the work phase.
+    shard_job: Mutex<Option<Arc<WorkQueue<ShardChunk>>>>,
+    /// Whether the attach-time recompute is sharded across rendezvoused
+    /// peers (default on; only takes effect when peers exist).
+    sharded: AtomicBool,
+    /// Whether a detach-time snapshot baseline exists for
+    /// [`TrackingStrategy::DirtyRecompute`]'s dirty-bit accounting.
+    dirty_baseline: AtomicBool,
     /// Deferred switch target for the retry timer.
     pending: Mutex<Option<ExecMode>>,
     last_outcome: Mutex<Option<Result<SwitchOutcome, SwitchError>>>,
@@ -242,10 +278,13 @@ impl Mercury {
             .map_err(|e| SwitchError::Transfer(e.to_string()))?;
 
         let refcount = VoRefCount::new();
-        let native_vo = CountedVo::new(
+        // The native VO gets the dormant VMM's page_info table as its
+        // dirty sink so DirtyRecompute can mark mutated table frames.
+        let native_vo = CountedVo::with_dirty_sink(
             BareOps::new(Arc::clone(&machine)) as Arc<dyn PvOps>,
             Arc::clone(&refcount),
             strategy,
+            Arc::clone(&hv.page_info),
         );
         let virtual_vo = CountedVo::new(
             XenOps::new(Arc::clone(&hv), Arc::clone(&dom0)) as Arc<dyn PvOps>,
@@ -293,10 +332,11 @@ impl Mercury {
         );
         let machine = Arc::clone(&kernel.machine);
         let refcount = VoRefCount::new();
-        let native_vo = CountedVo::new(
+        let native_vo = CountedVo::with_dirty_sink(
             BareOps::new(Arc::clone(&machine)) as Arc<dyn PvOps>,
             Arc::clone(&refcount),
             strategy,
+            Arc::clone(&hv.page_info),
         );
         let virtual_vo = CountedVo::new(
             XenOps::new(Arc::clone(&hv), Arc::clone(&dom)) as Arc<dyn PvOps>,
@@ -346,7 +386,10 @@ impl Mercury {
             ept,
             hvm_vo,
             rendezvous: Rendezvous::new(),
-            rv_target: Mutex::new(None),
+            rv_round: Mutex::new(None),
+            shard_job: Mutex::new(None),
+            sharded: AtomicBool::new(true),
+            dirty_baseline: AtomicBool::new(false),
             pending: Mutex::new(None),
             last_outcome: Mutex::new(None),
             stats: SwitchStats::default(),
@@ -423,6 +466,18 @@ impl Mercury {
     /// The switching mechanism in force.
     pub fn assist(&self) -> AssistMode {
         self.assist
+    }
+
+    /// Enable or disable sharding the attach-time recompute across
+    /// rendezvoused peers (§5.4 work phase).  Default on; with no peer
+    /// CPUs the serial walk is always used.
+    pub fn set_sharded_recompute(&self, on: bool) {
+        self.sharded.store(on, Ordering::Release);
+    }
+
+    /// Whether the attach-time recompute is sharded across peers.
+    pub fn sharded_recompute(&self) -> bool {
+        self.sharded.load(Ordering::Acquire)
     }
 
     /// A switch target deferred by the reference-count gate, if any.
@@ -518,19 +573,28 @@ impl Mercury {
         };
         merctrace::span_begin!(cpu.id, _span, cpu.cycles());
 
-        // §5.4: rendezvous the other CPUs.
+        // §5.4: rendezvous the other CPUs.  The round descriptor is
+        // published only *after* begin() succeeds — a Busy begin must
+        // not clobber the target of the round another CPU owns — and is
+        // torn down on every error path so no stale target survives an
+        // aborted round.
         let peers = self.machine.num_cpus() - 1;
+        let mut rv_epoch = 0u32;
         if peers > 0 {
             merctrace::span_begin!(cpu.id, "switch.rendezvous.gather", cpu.cycles());
-            *self.rv_target.lock() = Some(target);
-            self.rendezvous.begin().map_err(SwitchError::Rendezvous)?;
+            rv_epoch = self.rendezvous.begin().map_err(SwitchError::Rendezvous)?;
+            *self.rv_round.lock() = Some(RvRound {
+                epoch: rv_epoch,
+                target,
+            });
             self.machine
                 .intc
                 .broadcast_ipi(cpu, vectors::SELF_VIRT_RENDEZVOUS);
             let _w0 = cpu.cycles();
-            self.rendezvous
-                .wait_ready(peers)
-                .map_err(SwitchError::Rendezvous)?;
+            if let Err(e) = self.rendezvous.wait_ready(peers) {
+                *self.rv_round.lock() = None;
+                return Err(SwitchError::Rendezvous(e));
+            }
             merctrace::hist!(
                 cpu.id,
                 "switch.rendezvous.wait",
@@ -567,14 +631,16 @@ impl Mercury {
             // Release the peers to do their per-CPU reload; on a failed
             // transfer they reload for the *current* (unchanged) mode.
             if transfer.is_err() {
-                *self.rv_target.lock() = Some(self.mode());
+                *self.rv_round.lock() = Some(RvRound {
+                    epoch: rv_epoch,
+                    target: self.mode(),
+                });
             }
             merctrace::span_begin!(cpu.id, "switch.rendezvous.release", cpu.cycles());
             self.rendezvous.signal_go();
-            self.rendezvous
-                .wait_done(peers)
-                .map_err(SwitchError::Rendezvous)?;
-            *self.rv_target.lock() = None;
+            let done = self.rendezvous.wait_done(peers);
+            *self.rv_round.lock() = None;
+            done.map_err(SwitchError::Rendezvous)?;
             merctrace::span_end!(cpu.id, "switch.rendezvous.release", cpu.cycles());
         }
         transfer?;
@@ -608,19 +674,35 @@ impl Mercury {
     }
 
     fn handle_rendezvous_peer(self: &Arc<Self>, cpu: &Arc<Cpu>, frame: &mut TrapFrame) {
-        if self.rendezvous.check_in_and_wait().is_err() {
+        // No round published — this is a stale interrupt left over from
+        // an aborted rendezvous.  Nothing to join.
+        let Some(round) = *self.rv_round.lock() else {
+            return;
+        };
+        // Check in pinned to this round's epoch, and serve recompute
+        // chunks while parked (§5.4 work phase).  A Stale error means
+        // the round we saw was torn down before our check-in landed.
+        let mut served = 0usize;
+        if self
+            .rendezvous
+            .check_in_and_wait_serving(round.epoch, || self.shard_poll(cpu, &mut served))
+            .is_err()
+        {
             return;
         }
-        if let Some(target) = *self.rv_target.lock() {
-            merctrace::span_begin!(cpu.id, "switch.reload_cpu", cpu.cycles());
-            self.reload_cpu(cpu, target);
-            merctrace::span_end!(cpu.id, "switch.reload_cpu", cpu.cycles());
-            frame.return_pl = match (self.assist, target) {
-                (AssistMode::Software, ExecMode::Virtual) => PrivLevel::Pl1,
-                _ => PrivLevel::Pl0,
-            };
-        }
-        self.rendezvous.complete();
+        // Re-read the target: a failed transfer rewrites the round so
+        // peers reload for the unchanged mode.
+        let target = (*self.rv_round.lock())
+            .map(|r| r.target)
+            .unwrap_or(round.target);
+        merctrace::span_begin!(cpu.id, "switch.reload_cpu", cpu.cycles());
+        self.reload_cpu(cpu, target);
+        merctrace::span_end!(cpu.id, "switch.reload_cpu", cpu.cycles());
+        frame.return_pl = match (self.assist, target) {
+            (AssistMode::Software, ExecMode::Virtual) => PrivLevel::Pl1,
+            _ => PrivLevel::Pl0,
+        };
+        self.rendezvous.complete_for(round.epoch);
     }
 
     /// Per-CPU hardware state reload (§5.1.3): gate table, descriptor
@@ -738,21 +820,26 @@ impl Mercury {
         merctrace::span_begin!(cpu.id, "switch.transfer.fix_selectors", cpu.cycles());
         self.fix_selectors(cpu, PrivLevel::Pl1);
         merctrace::span_end!(cpu.id, "switch.transfer.fix_selectors", cpu.cycles());
-        // 3. Frame accounting: rebuild (or adopt) the VMM's page_info.
+        // 3. Frame accounting: rebuild (or adopt) the VMM's page_info —
+        //    serially on the control processor, or sharded across the
+        //    rendezvoused peers parked in their work phase (§5.4).
         merctrace::span_begin!(cpu.id, "switch.transfer.pginfo_recompute", cpu.cycles());
         let pgds = self.kernel.all_pgds();
-        let frames = self.kernel.pool_frames();
-        self.hv
-            .page_info
-            .recompute_for_at(
-                cpu,
-                &self.machine.mem,
-                self.dom0.id,
-                frames.len(),
-                &pgds,
-                self.strategy.attach_per_frame_cost(),
-            )
-            .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+        let owned = self.kernel.pool_frames().len();
+        let p0 = cpu.cycles();
+        let peers = self.machine.num_cpus() - 1;
+        if peers > 0 && self.sharded.load(Ordering::Acquire) {
+            self.sharded_recompute_phase(cpu, &pgds, owned)?;
+        } else {
+            cpu.tick(self.pginfo_scan_cycles(owned));
+            self.hv
+                .page_info
+                .recompute_for_at(cpu, &self.machine.mem, self.dom0.id, owned, &pgds, 0)
+                .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+        }
+        self.stats
+            .last_pginfo_cycles
+            .store(cpu.cycles() - p0, Ordering::Relaxed);
         self.dom0.reset_pgds(pgds);
         merctrace::span_end!(cpu.id, "switch.transfer.pginfo_recompute", cpu.cycles());
         // 4. Activate the pre-cached VMM and register the kernel's trap
@@ -773,6 +860,12 @@ impl Mercury {
         cpu.tick(costs::PGINFO_CLEAR_PER_FRAME * self.kernel.pool_frames().len() as u64);
         self.hv.page_info.clear_types_for(self.dom0.id);
         self.dom0.reset_pgds(Vec::new());
+        // Dirty-recompute baseline: the state just validated is the
+        // snapshot; dirty tracking (re)starts from here.
+        if self.strategy == TrackingStrategy::DirtyRecompute {
+            self.hv.page_info.reset_dirty_for(self.dom0.id);
+            self.dirty_baseline.store(true, Ordering::Release);
+        }
         merctrace::span_end!(cpu.id, "switch.transfer.pginfo_clear", cpu.cycles());
         // 2. Page-table pages become writable again.
         merctrace::span_begin!(cpu.id, "switch.transfer.flip_tables", cpu.cycles());
@@ -785,6 +878,141 @@ impl Mercury {
         // 4. Deactivate.
         self.hv.deactivate();
         Ok(())
+    }
+
+    // ---- sharded recompute (§5.4 work phase) --------------------------------
+
+    /// Total attach-time accounting (scan) cycles for the strategy in
+    /// force, given the current dirty-frame population.
+    fn pginfo_scan_cycles(&self, owned: usize) -> u64 {
+        let dirty = match self.strategy {
+            TrackingStrategy::DirtyRecompute if self.dirty_baseline.load(Ordering::Acquire) => {
+                self.hv.page_info.count_dirty_for(self.dom0.id)
+            }
+            // No baseline (first attach) → every frame counts dirty;
+            // uniform-rate strategies ignore the count anyway.
+            _ => owned,
+        };
+        self.strategy.attach_cost(owned, dirty)
+    }
+
+    /// Rebuild page_info with the rendezvoused peers as workers: the
+    /// accounting scan and the per-pgd validation walks are chunked
+    /// onto a shared work queue that parked peers drain concurrently
+    /// with the control processor.  The CP charges itself the phase
+    /// *makespan* (max per-CPU spend), not the serial sum.
+    fn sharded_recompute_phase(
+        &self,
+        cpu: &Arc<Cpu>,
+        pgds: &[FrameNum],
+        owned: usize,
+    ) -> Result<(), SwitchError> {
+        let dom = self.dom0.id;
+        let scan_total = self.pginfo_scan_cycles(owned);
+        self.hv.page_info.clear_types_for(dom);
+
+        // Split the uniform scan into SHARD_CHUNK_FRAMES-sized slices
+        // and append one validation chunk per base table.
+        let n_scan = owned.div_ceil(SHARD_CHUNK_FRAMES).max(1);
+        let mut chunks = Vec::with_capacity(n_scan + pgds.len());
+        let base = scan_total / n_scan as u64;
+        let rem = scan_total % n_scan as u64;
+        for i in 0..n_scan as u64 {
+            chunks.push(ShardChunk::Scan(base + u64::from(i < rem)));
+        }
+        chunks.extend(pgds.iter().map(|&p| ShardChunk::Pgd(p)));
+
+        let job = Arc::new(WorkQueue::new(chunks));
+        merctrace::span_begin!(cpu.id, "switch.transfer.pginfo_shard", cpu.cycles());
+        *self.shard_job.lock() = Some(Arc::clone(&job));
+        // The CP joins the work phase as an ordinary worker, up to its
+        // fair share.  Simulated time is charged to whichever CPU pulls
+        // a chunk, so an uncapped queue would let one fast *host
+        // thread* soak up the whole phase and serialize the modelled
+        // cost; the per-CPU cap keeps the simulated schedule parallel
+        // no matter how the host OS schedules the worker threads.
+        let cap = self.shard_fair_share(&job);
+        let mut served = 0usize;
+        while served < cap && self.shard_exec_one(cpu, &job) {
+            served += 1;
+            std::thread::yield_now();
+        }
+        // … then waits for in-flight peer chunks to retire.  The job is
+        // unpublished before signal_go, so every peer chunk completion
+        // happens-before the release (checked by dyncheck's
+        // WorkMonitor inside wait_drained).
+        let drained = job.wait_drained(RENDEZVOUS_TIMEOUT);
+        *self.shard_job.lock() = None;
+        merctrace::span_end!(cpu.id, "switch.transfer.pginfo_shard", cpu.cycles());
+        if !drained {
+            self.hv.page_info.clear_types_for(dom);
+            return Err(SwitchError::Transfer(
+                "sharded recompute work queue never drained".into(),
+            ));
+        }
+        // Makespan accounting: the workers ran concurrently, so the
+        // phase costs the slowest CPU's spend; the CP already paid its
+        // own share while pulling chunks.
+        let own = job.spent_of(cpu.id as u32);
+        cpu.tick(job.max_spent().saturating_sub(own));
+        if job.failed() {
+            self.hv.page_info.clear_types_for(dom);
+            return Err(SwitchError::Transfer(
+                "sharded page_info validation failed".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Pull and execute one chunk from `job` on `cpu`, charging the
+    /// dispatch overhead and the chunk's work to that CPU.  Returns
+    /// whether a chunk was executed.
+    fn shard_exec_one(&self, cpu: &Arc<Cpu>, job: &WorkQueue<ShardChunk>) -> bool {
+        let Some((_, chunk)) = job.pull() else {
+            return false;
+        };
+        let t0 = cpu.cycles();
+        cpu.tick(costs::SHARD_CHUNK_DISPATCH);
+        match *chunk {
+            ShardChunk::Scan(cycles) => cpu.tick(cycles),
+            ShardChunk::Pgd(pgd) => {
+                if self
+                    .hv
+                    .page_info
+                    .validate_l2_shared(cpu, &self.machine.mem, pgd, self.dom0.id)
+                    .is_err()
+                {
+                    job.fail();
+                }
+            }
+        }
+        merctrace::counter!(cpu.id, "switch.shard.chunk", 1, cpu.cycles());
+        job.complete_one(cpu.id as u32, cpu.cycles() - t0);
+        true
+    }
+
+    /// A worker's fair share of `job`'s chunks (see
+    /// [`Mercury::sharded_recompute_phase`] on why claims are capped).
+    fn shard_fair_share(&self, job: &WorkQueue<ShardChunk>) -> usize {
+        job.total().div_ceil(self.machine.num_cpus())
+    }
+
+    /// The parked peer's work-phase callback: serve one recompute chunk
+    /// if a job is published and this peer is under its fair-share cap.
+    /// Returns whether work was done (resets the peer's rendezvous
+    /// deadline).  `served` counts this peer's claims across the round.
+    fn shard_poll(&self, cpu: &Arc<Cpu>, served: &mut usize) -> bool {
+        let job = self.shard_job.lock().clone();
+        let Some(job) = job else { return false };
+        if *served >= self.shard_fair_share(&job) {
+            return false;
+        }
+        if self.shard_exec_one(cpu, &job) {
+            *served += 1;
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -1152,6 +1380,182 @@ pub(crate) mod tests {
         assert!(matches!(err, SwitchError::Rendezvous(_)));
         assert_eq!(mercury.mode(), ExecMode::Native);
         assert_eq!(cpu0.pl(), PrivLevel::Pl0);
+    }
+
+    #[test]
+    fn failed_rendezvous_leaves_no_stale_round() {
+        // Regression for the stale rv_target bug: the round descriptor
+        // used to be published *before* begin() and left set on the
+        // Busy/timeout error paths, so a later peer could read a stale
+        // target and reload into the wrong mode (split brain).
+        let (machine, _hv, mercury) = rig(2, TrackingStrategy::RecomputeOnSwitch);
+        let cpu0 = Arc::clone(&machine.cpus[0]);
+
+        // Busy: another CPU owns a round, so begin() fails — the
+        // descriptor of the owning round must not be clobbered.
+        let _held = mercury.rendezvous.begin().unwrap();
+        let err = mercury.switch_to_virtual(&cpu0).unwrap_err();
+        assert_eq!(err, SwitchError::Rendezvous(RendezvousError::Busy));
+        assert!(
+            mercury.rv_round.lock().is_none(),
+            "a Busy switch attempt must not publish a round descriptor"
+        );
+        // Retire the held round (zero peers → the waits are trivial).
+        mercury.rendezvous.signal_go();
+        mercury.rendezvous.wait_done(0).unwrap();
+
+        // Timeout: the peer never services, wait_ready aborts — the
+        // descriptor must be torn down with the round.
+        let err = mercury.switch_to_virtual(&cpu0).unwrap_err();
+        assert_eq!(err, SwitchError::Rendezvous(RendezvousError::Timeout));
+        assert!(
+            mercury.rv_round.lock().is_none(),
+            "a timed-out switch must not leave a stale round target"
+        );
+        // The rendezvous IPI is still pending on CPU1.  Servicing it
+        // now must find no round and leave the CPU untouched.
+        let cpu1 = Arc::clone(&machine.cpus[1]);
+        cpu1.tick(50);
+        cpu1.service_pending();
+        assert_eq!(cpu1.pl(), PrivLevel::Pl0);
+        assert_eq!(cpu1.current_idt().unwrap().owner, "nimbus");
+        assert_eq!(mercury.mode(), ExecMode::Native);
+    }
+
+    #[test]
+    fn sharded_recompute_beats_serial_on_smp() {
+        use std::sync::atomic::AtomicBool as StopFlag;
+        let (machine, hv, mercury) = rig(4, TrackingStrategy::RecomputeOnSwitch);
+        let cpu0 = Arc::clone(&machine.cpus[0]);
+        let stop = Arc::new(StopFlag::new(false));
+        let peers: Vec<_> = (1..4)
+            .map(|i| {
+                let stop = Arc::clone(&stop);
+                let cpu = Arc::clone(&machine.cpus[i]);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        cpu.tick(50);
+                        cpu.service_pending();
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        let strip = |snap: Vec<xenon::PageInfo>| {
+            snap.into_iter()
+                .map(|mut r| {
+                    r.dirty = false;
+                    r
+                })
+                .collect::<Vec<_>>()
+        };
+
+        assert!(mercury.sharded_recompute());
+        mercury.switch_to_virtual(&cpu0).unwrap();
+        let sharded = mercury.stats.last_pginfo_cycles.load(Ordering::Relaxed);
+        let snap_sharded = strip(hv.page_info.snapshot());
+        mercury.switch_to_native(&cpu0).unwrap();
+
+        mercury.set_sharded_recompute(false);
+        mercury.switch_to_virtual(&cpu0).unwrap();
+        let serial = mercury.stats.last_pginfo_cycles.load(Ordering::Relaxed);
+        let snap_serial = strip(hv.page_info.snapshot());
+        mercury.switch_to_native(&cpu0).unwrap();
+
+        stop.store(true, Ordering::Release);
+        for p in peers {
+            p.join().unwrap();
+        }
+        assert_eq!(
+            snap_sharded, snap_serial,
+            "sharded validation must rebuild the exact serial accounting"
+        );
+        assert!(
+            serial >= sharded * 2,
+            "4-CPU sharded recompute phase ({sharded}) must be ≥2× faster than serial ({serial})"
+        );
+    }
+
+    #[test]
+    fn dirty_recompute_warm_reattach_is_cheap() {
+        let (m_dirty, h_dirty, dirty) = rig(1, TrackingStrategy::DirtyRecompute);
+        let (m_full, _h2, full) = rig(1, TrackingStrategy::RecomputeOnSwitch);
+        let cpu_d = m_dirty.boot_cpu();
+        let cpu_f = m_full.boot_cpu();
+
+        // First attach has no detach baseline: full-rate recompute.
+        dirty.switch_to_virtual(cpu_d).unwrap();
+        let cold = dirty.stats.last_pginfo_cycles.load(Ordering::Relaxed);
+        dirty.switch_to_native(cpu_d).unwrap();
+        // Idle native window: nothing dirtied, so the re-attach merely
+        // restores clean frames from the detach snapshot.
+        let SwitchOutcome::Completed {
+            cycles: warm_attach,
+        } = dirty.switch_to_virtual(cpu_d).unwrap()
+        else {
+            panic!()
+        };
+        let warm = dirty.stats.last_pginfo_cycles.load(Ordering::Relaxed);
+
+        full.switch_to_virtual(cpu_f).unwrap();
+        full.switch_to_native(cpu_f).unwrap();
+        let SwitchOutcome::Completed {
+            cycles: full_attach,
+        } = full.switch_to_virtual(cpu_f).unwrap()
+        else {
+            panic!()
+        };
+        let full_pginfo = full.stats.last_pginfo_cycles.load(Ordering::Relaxed);
+
+        assert!(
+            cold >= full_pginfo,
+            "first dirty attach ({cold}) has no baseline, must pay full rate ({full_pginfo})"
+        );
+        assert!(
+            warm * 5 <= full_pginfo,
+            "warm pginfo phase ({warm}) not ≥5× under full recompute ({full_pginfo})"
+        );
+        assert!(
+            full_attach >= warm_attach * 5,
+            "warm re-attach ({warm_attach}) must be ≥5× cheaper than recompute ({full_attach})"
+        );
+        // The cheap path still rebuilt correct accounting.
+        for pgd in dirty.kernel().all_pgds() {
+            let (typ, count) = h_dirty.page_info.type_of(pgd);
+            assert_eq!(typ, xenon::PageType::L2);
+            assert!(count > 0);
+            assert!(h_dirty.page_info.get(pgd).pinned);
+        }
+    }
+
+    #[test]
+    fn dirty_writes_raise_the_warm_reattach_cost() {
+        let (machine, hv, mercury) = rig(1, TrackingStrategy::DirtyRecompute);
+        let cpu = machine.boot_cpu();
+        mercury.switch_to_virtual(cpu).unwrap();
+        mercury.switch_to_native(cpu).unwrap();
+        assert_eq!(hv.page_info.count_dirty_for(mercury.dom0().id), 0);
+
+        // Native-mode page-table mutations mark their table frames
+        // dirty through the VO sink.
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        let va = sess.mmap(8, Prot::RW, MmapBacking::Anon).unwrap();
+        for p in 0..8u64 {
+            sess.poke(VirtAddr(va.0 + p * PAGE_SIZE), p).unwrap();
+        }
+        let dirtied = hv.page_info.count_dirty_for(mercury.dom0().id);
+        assert!(dirtied > 0, "faulted-in pages must dirty their tables");
+
+        mercury.switch_to_virtual(cpu).unwrap();
+        let warm = mercury.stats.last_pginfo_cycles.load(Ordering::Relaxed);
+        let floor = TrackingStrategy::DirtyRecompute
+            .attach_cost(mercury.kernel().pool_frames().len(), dirtied);
+        assert!(
+            warm >= floor,
+            "re-attach ({warm}) must pay the blended rate for {dirtied} dirty frames ({floor})"
+        );
+        assert_eq!(sess.peek(va).unwrap(), 0);
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   Mercury still only incurs negligible overhead");
 //! * optionally, the **active tracking** mirror cost of §5.1.2's first
 //!   strategy: every native page-table mutation also updates the
-//!   dormant VMM's frame accounting.
+//!   dormant VMM's frame accounting;
+//! * or, under [`TrackingStrategy::DirtyRecompute`], the far cheaper
+//!   **dirty marking**: a native page-table mutation only sets the
+//!   containing table frame's dirty bit in the dormant VMM's
+//!   `page_info`, so the next attach revalidates just the dirtied
+//!   frames.
 
 use crate::pgtrack::TrackingStrategy;
 use crate::refcount::VoRefCount;
@@ -25,6 +30,7 @@ use simx86::mem::FrameNum;
 use simx86::paging::Pte;
 use simx86::{costs, Cpu};
 use std::sync::Arc;
+use xenon::PageInfoTable;
 
 /// Cycles charged per VO call: the function-table indirection plus the
 /// code/data layout changes the paper attributes M-N's overhead to
@@ -38,6 +44,9 @@ pub struct CountedVo {
     counter: Arc<VoRefCount>,
     /// Frame-accounting strategy; only consulted by the native VO.
     strategy: TrackingStrategy,
+    /// The dormant VMM's frame table, for dirty marking from native
+    /// mode (only wired on the native VO under `DirtyRecompute`).
+    page_info: Option<Arc<PageInfoTable>>,
 }
 
 impl CountedVo {
@@ -51,6 +60,24 @@ impl CountedVo {
             inner,
             counter,
             strategy,
+            page_info: None,
+        })
+    }
+
+    /// [`CountedVo::new`] with the dormant VMM's frame table attached
+    /// as the dirty-marking sink — the native VO's wiring under
+    /// [`TrackingStrategy::DirtyRecompute`].
+    pub fn with_dirty_sink(
+        inner: Arc<dyn PvOps>,
+        counter: Arc<VoRefCount>,
+        strategy: TrackingStrategy,
+        page_info: Arc<PageInfoTable>,
+    ) -> Arc<CountedVo> {
+        Arc::new(CountedVo {
+            inner,
+            counter,
+            strategy,
+            page_info: Some(page_info),
         })
     }
 
@@ -65,12 +92,26 @@ impl CountedVo {
         self.counter.enter()
     }
 
-    /// Extra per-entry cost of mirroring a native page-table mutation
-    /// into the dormant VMM's accounting (active tracking, §5.1.2).
+    /// Extra per-entry cost of a native page-table mutation under the
+    /// strategies that watch native mode: the full mirror update of
+    /// active tracking (§5.1.2), or dirty recompute's one-byte dirty
+    /// mark on the containing table frame.
     #[inline]
-    fn track(&self, cpu: &Arc<Cpu>, entries: u64) {
-        if self.mode() == ExecMode::Native && self.strategy == TrackingStrategy::ActiveTracking {
-            cpu.tick(costs::ACTIVE_TRACK_PER_PTE * entries);
+    fn track(&self, cpu: &Arc<Cpu>, table: FrameNum, entries: u64) {
+        if self.mode() != ExecMode::Native {
+            return;
+        }
+        match self.strategy {
+            TrackingStrategy::ActiveTracking => {
+                cpu.tick(costs::ACTIVE_TRACK_PER_PTE * entries);
+            }
+            TrackingStrategy::DirtyRecompute => {
+                cpu.tick(costs::DIRTY_TRACK_PER_PTE * entries);
+                if let Some(pi) = &self.page_info {
+                    pi.mark_dirty(table);
+                }
+            }
+            TrackingStrategy::RecomputeOnSwitch => {}
         }
     }
 }
@@ -126,7 +167,7 @@ impl PvOps for CountedVo {
         val: Pte,
     ) -> Result<(), KernelError> {
         let _g = self.enter(cpu);
-        self.track(cpu, 1);
+        self.track(cpu, table, 1);
         self.inner.set_pte(cpu, table, index, val)
     }
     fn set_ptes(
@@ -136,7 +177,7 @@ impl PvOps for CountedVo {
         updates: &[(usize, Pte)],
     ) -> Result<(), KernelError> {
         let _g = self.enter(cpu);
-        self.track(cpu, updates.len() as u64);
+        self.track(cpu, table, updates.len() as u64);
         self.inner.set_ptes(cpu, table, updates)
     }
     fn flush_tlb(&self, cpu: &Arc<Cpu>) {
@@ -158,7 +199,7 @@ impl PvOps for CountedVo {
         frame: FrameNum,
     ) -> Result<(), KernelError> {
         let _g = self.enter(cpu);
-        self.track(cpu, 1);
+        self.track(cpu, frame, 1);
         self.inner.register_page_table(cpu, kmap, frame)
     }
     fn unregister_page_table(
@@ -168,18 +209,18 @@ impl PvOps for CountedVo {
         frame: FrameNum,
     ) -> Result<(), KernelError> {
         let _g = self.enter(cpu);
-        self.track(cpu, 1);
+        self.track(cpu, frame, 1);
         self.inner.unregister_page_table(cpu, kmap, frame)
     }
     fn pin_base_table(&self, cpu: &Arc<Cpu>, pgd: FrameNum) -> Result<(), KernelError> {
         let _g = self.enter(cpu);
         // Tracking a pin replays a table-sized validation in the mirror.
-        self.track(cpu, simx86::paging::ENTRIES_PER_TABLE as u64 / 8);
+        self.track(cpu, pgd, simx86::paging::ENTRIES_PER_TABLE as u64 / 8);
         self.inner.pin_base_table(cpu, pgd)
     }
     fn unpin_base_table(&self, cpu: &Arc<Cpu>, pgd: FrameNum) -> Result<(), KernelError> {
         let _g = self.enter(cpu);
-        self.track(cpu, simx86::paging::ENTRIES_PER_TABLE as u64 / 8);
+        self.track(cpu, pgd, simx86::paging::ENTRIES_PER_TABLE as u64 / 8);
         self.inner.unpin_base_table(cpu, pgd)
     }
 
@@ -250,5 +291,43 @@ mod tests {
         let plain = cpu2.cycles() - t0;
 
         assert_eq!(tracked, plain + 16 * costs::ACTIVE_TRACK_PER_PTE);
+    }
+
+    #[test]
+    fn dirty_tracking_marks_table_and_charges_less() {
+        let m = Machine::new(MachineConfig {
+            num_cpus: 1,
+            mem_frames: 64,
+            disk_sectors: 64,
+        });
+        let sink = Arc::new(PageInfoTable::new(64));
+        let vo = CountedVo::with_dirty_sink(
+            BareOps::new(Arc::clone(&m)),
+            VoRefCount::new(),
+            TrackingStrategy::DirtyRecompute,
+            Arc::clone(&sink),
+        );
+        let updates: Vec<(usize, Pte)> = (0..16).map(|i| (i, Pte::ABSENT)).collect();
+
+        let cpu = m.boot_cpu();
+        let t0 = cpu.cycles();
+        vo.set_ptes(cpu, FrameNum(3), &updates).unwrap();
+        let dirty_cost = cpu.cycles() - t0;
+
+        let (m2, vo_plain, _) = rig(TrackingStrategy::RecomputeOnSwitch);
+        let cpu2 = m2.boot_cpu();
+        let t0 = cpu2.cycles();
+        vo_plain.set_ptes(cpu2, FrameNum(3), &updates).unwrap();
+        let plain = cpu2.cycles() - t0;
+
+        // The write marked exactly the containing table frame dirty …
+        assert!(sink.get(FrameNum(3)).dirty);
+        assert!(!sink.get(FrameNum(4)).dirty);
+        // … at the dirty rate, well under the active mirror's.
+        assert_eq!(dirty_cost, plain + 16 * costs::DIRTY_TRACK_PER_PTE);
+        assert!(
+            costs::DIRTY_TRACK_PER_PTE * 4 <= costs::ACTIVE_TRACK_PER_PTE,
+            "dirty marking must stay far cheaper than the active mirror"
+        );
     }
 }

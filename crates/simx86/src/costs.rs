@@ -260,6 +260,18 @@ pub const STATE_RELOAD: u64 = 2_800;
 /// whole-application overhead for this strategy.
 pub const ACTIVE_TRACK_PER_PTE: u64 = 12;
 
+/// The dirty-tracking middle ground between recompute and active
+/// tracking: a native PTE write only sets the containing table frame's
+/// dirty bit (one byte store, no mirror bookkeeping), so the attach can
+/// revalidate just the dirtied tables.  Far cheaper per write than
+/// [`ACTIVE_TRACK_PER_PTE`]'s full mirror update.
+pub const DIRTY_TRACK_PER_PTE: u64 = 2;
+
+/// Claiming one chunk from the shared work queue of the parallel
+/// attach-time recompute (§5.4 work phase): the atomic fetch-add plus
+/// the cache-line transfer of the chunk descriptor to the claiming CPU.
+pub const SHARD_CHUNK_DISPATCH: u64 = 200;
+
 /// Period of the retry timer armed when a switch request finds a
 /// non-zero virtualization-object reference count (§5.1.1: "every time
 /// interval (e.g., every 10 ms)").

@@ -202,6 +202,8 @@ impl Config {
             "wait_done",
             "wait_ready_and_go",
             "check_in_and_wait",
+            "check_in_and_wait_serving",
+            "wait_drained",
         ];
         let fault_hooks = [
             "mem_read_site",
@@ -218,6 +220,9 @@ impl Config {
             "detach_transfer",
             "rollback_transfer",
             "reload_cpu",
+            "sharded_recompute_phase",
+            "shard_exec_one",
+            "shard_poll",
         ];
         Config {
             privileged: privileged.iter().map(|s| s.to_string()).collect(),

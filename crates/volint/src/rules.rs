@@ -361,8 +361,10 @@ fn dispatch_gap(files: &[FileFacts], cfg: &Config, out: &mut Vec<Diagnostic>) {
         }
     }
 
-    // 2. Every Rendezvous field reset by `begin()` — a stale field from
-    // the previous round corrupts the next handshake.
+    // 2. Every *atomic* Rendezvous field reset by `begin()` — a stale
+    // counter or flag from the previous round corrupts the next
+    // handshake.  Non-atomic fields (the timeout, the dyncheck shadow
+    // monitor) are round-invariant configuration, not protocol state.
     for f in files {
         if !f.defines_struct("Rendezvous") {
             continue;
@@ -375,6 +377,7 @@ fn dispatch_gap(files: &[FileFacts], cfg: &Config, out: &mut Vec<Diagnostic>) {
         for fd in &f.fields {
             if fd.struct_name == "Rendezvous"
                 && !fd.in_test
+                && fd.type_idents.iter().any(|t| t.starts_with("Atomic"))
                 && !begin.idents.contains(&fd.field_name)
             {
                 push(

@@ -393,6 +393,26 @@ impl TestBed {
         }
     }
 
+    /// An M-N testbed with an explicit frame-accounting strategy (the
+    /// tracking-ablation and strategy-equivalence studies).
+    pub fn build_mn_with_strategy(cpus: usize, strategy: TrackingStrategy) -> TestBed {
+        let machine = machine(cpus);
+        let hv = Hypervisor::warm_up(&machine);
+        let kernel = boot_kernel(&machine, POOL_FRAMES, BootMode::Bare);
+        attach_native_drivers(&machine, &kernel);
+        let mercury = Mercury::install(Arc::clone(&kernel), Arc::clone(&hv), strategy)
+            .expect("mercury install failed");
+        TestBed {
+            kind: SysKind::MN,
+            machine,
+            kernel,
+            hv: Some(hv),
+            mercury: Some(mercury),
+            driver_kernel: None,
+            dom: None,
+        }
+    }
+
     /// A session on the measured kernel, CPU `cpu_id`.
     pub fn session(&self, cpu_id: usize) -> Session {
         Session::new(Arc::clone(&self.kernel), cpu_id)

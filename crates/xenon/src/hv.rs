@@ -58,8 +58,10 @@ pub struct HvStats {
 pub struct Hypervisor {
     /// The machine this VMM controls when active.
     pub machine: Arc<Machine>,
-    /// Frame accounting.
-    pub page_info: PageInfoTable,
+    /// Frame accounting.  Shared (`Arc`) so Mercury's native-mode
+    /// dirty tracking can mark table frames from the kernel's VO path
+    /// while the VMM is dormant.
+    pub page_info: Arc<PageInfoTable>,
     /// Event channels.
     pub events: EventChannels,
     /// Grant tables.
@@ -110,7 +112,7 @@ impl Hypervisor {
             }
             Hypervisor {
                 machine: Arc::clone(machine),
-                page_info: PageInfoTable::new(machine.mem.num_frames()),
+                page_info: Arc::new(PageInfoTable::new(machine.mem.num_frames())),
                 events: EventChannels::new(),
                 grants: GrantTables::new(),
                 sched: Scheduler::new(num_cpus),

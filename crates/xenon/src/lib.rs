@@ -42,4 +42,4 @@ pub mod sched;
 pub use domain::{DomId, Domain, DOM0};
 pub use error::HvError;
 pub use hv::{Hypervisor, MmuUpdate};
-pub use page_info::{PageInfoTable, PageType};
+pub use page_info::{PageInfo, PageInfoTable, PageType};

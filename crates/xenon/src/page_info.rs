@@ -17,8 +17,12 @@
 //! paper describes the two strategies Mercury supports to fix it on
 //! re-attach — full **recomputation** (the default; dominates the 0.22 ms
 //! switch time) and **active tracking** from native mode (2~3 % overhead).
-//! Both strategies produce this table; a property test in the mercury
-//! crate asserts they agree.
+//! Mercury adds a third, **dirty recompute** (snapshot at detach, dirty
+//! bits while native, revalidate only dirtied frames on re-attach), and
+//! a **sharded** variant of the recompute walk
+//! ([`PageInfoTable::validate_l2_shared`]) safe to run from several
+//! rendezvoused CPUs at once.  All strategies produce this table; a
+//! property test in the mercury crate asserts they agree.
 
 use crate::domain::DomId;
 use crate::error::HvError;
@@ -108,6 +112,29 @@ impl PageInfoTable {
     pub fn take_dirty(&self, frame: FrameNum) -> bool {
         let mut info = self.info.lock();
         std::mem::take(&mut info[frame.0 as usize].dirty)
+    }
+
+    /// Clear the dirty bit on every frame owned by `dom` — the
+    /// detach-time baseline of Mercury's dirty-recompute strategy
+    /// (everything native mode dirties after this point must be
+    /// revalidated at the next attach).
+    pub fn reset_dirty_for(&self, dom: DomId) {
+        let mut info = self.info.lock();
+        for rec in info.iter_mut() {
+            if rec.owner == Some(dom) {
+                rec.dirty = false;
+            }
+        }
+    }
+
+    /// Count dirty frames owned by `dom` (the attach-time revalidation
+    /// set of the dirty-recompute strategy).
+    pub fn count_dirty_for(&self, dom: DomId) -> usize {
+        self.info
+            .lock()
+            .iter()
+            .filter(|r| r.owner == Some(dom) && r.dirty)
+            .count()
     }
 
     // -- type reference counting ---------------------------------------
@@ -405,6 +432,106 @@ impl PageInfoTable {
         Ok(())
     }
 
+    /// Validate one base table for `dom` from a *concurrent* recompute
+    /// worker — the engine of Mercury's sharded attach walk.
+    ///
+    /// [`Self::validate_l2`] is not safe to run from two CPUs over base
+    /// tables that share an L1: its untyped-check and the subsequent
+    /// [`Self::validate_l1`] are separate lock acquisitions, so both
+    /// workers can observe "untyped" and both walk the L1 — double
+    /// `Writable` references, and a snapshot that no serial walk would
+    /// ever produce.  Here the L1 handling is a single lock-held
+    /// **claim** ([`Self::claim_l1`]): exactly one worker wins the
+    /// untyped→`L1` transition and walks the entries; everyone else
+    /// just adds a type reference.  Reference counts are additive and
+    /// each L1 is walked exactly once, so the final table is
+    /// bit-identical to the serial walk's regardless of interleaving.
+    ///
+    /// Error handling is wholesale, not surgical: a failed validation
+    /// leaves partial references behind and the caller (who has already
+    /// stopped all workers) discards the domain's state with
+    /// [`Self::clear_types_for`] — the same teardown the switch
+    /// rollback performs anyway.
+    pub fn validate_l2_shared(
+        &self,
+        cpu: &Cpu,
+        mem: &PhysMemory,
+        frame: FrameNum,
+        dom: DomId,
+    ) -> Result<(), HvError> {
+        self.check_owned(frame, dom, "L2 table frame")?;
+        for index in 0..ENTRIES_PER_TABLE {
+            let pde = mem.read_pte(cpu, frame, index)?;
+            if !pde.present() {
+                continue;
+            }
+            let l1 = FrameNum(pde.frame());
+            if self.claim_l1(l1, dom)? {
+                // We won the claim: the claim itself is this entry's
+                // L1 reference, and we alone walk the entries.
+                self.validate_l1_entries(cpu, mem, l1, dom)?;
+            }
+        }
+        self.get_type_ref(frame, PageType::L2)?;
+        self.info.lock()[frame.0 as usize].pinned = true;
+        Ok(())
+    }
+
+    /// Atomically claim `frame` as an L1 table for `dom`.  Returns
+    /// `Ok(true)` when this caller performed the untyped→L1 transition
+    /// (and therefore owns the entry walk), `Ok(false)` when the frame
+    /// was already L1-typed and only a reference was added.
+    fn claim_l1(&self, frame: FrameNum, dom: DomId) -> Result<bool, HvError> {
+        let mut info = self.info.lock();
+        let rec = info.get_mut(frame.0 as usize).ok_or(HvError::BadFrame {
+            frame: frame.0,
+            why: "out of range",
+        })?;
+        if rec.owner != Some(dom) {
+            return Err(HvError::BadFrame {
+                frame: frame.0,
+                why: "L1 table frame",
+            });
+        }
+        if rec.typ == PageType::None || rec.type_count == 0 {
+            rec.typ = PageType::L1;
+            rec.type_count = 1;
+            Ok(true)
+        } else if rec.typ == PageType::L1 {
+            rec.type_count += 1;
+            Ok(false)
+        } else {
+            Err(HvError::TypeConflict(
+                "attempt to use a writably-mapped frame as a page table",
+            ))
+        }
+    }
+
+    /// The entry walk of [`Self::validate_l1`] without the frame's own
+    /// type reference (the sharded caller's claim already holds it) and
+    /// without surgical rollback (sharded failures are discarded
+    /// wholesale).
+    fn validate_l1_entries(
+        &self,
+        cpu: &Cpu,
+        mem: &PhysMemory,
+        frame: FrameNum,
+        dom: DomId,
+    ) -> Result<(), HvError> {
+        for index in 0..ENTRIES_PER_TABLE {
+            let pte = mem.read_pte(cpu, frame, index)?;
+            if !pte.present() {
+                continue;
+            }
+            let target = FrameNum(pte.frame());
+            self.check_owned(target, dom, "L1 entry target")?;
+            if pte.writable() {
+                self.get_type_ref(target, PageType::Writable)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Count frames owned by `dom` (diagnostics, migration sizing).
     pub fn count_owned(&self, dom: DomId) -> usize {
         self.info
@@ -622,6 +749,101 @@ mod tests {
         t.mark_dirty(FrameNum(1));
         assert!(t.take_dirty(FrameNum(1)));
         assert!(!t.take_dirty(FrameNum(1)));
+    }
+
+    #[test]
+    fn sharded_validation_matches_serial_snapshot() {
+        // Many base tables sharing L1s — the topology where the naive
+        // check-then-validate race would double-count.  Run the shared
+        // validator from several real threads and diff against the
+        // serial walk.
+        let frames = 64;
+        let (t, mem, cpu) = rig(frames);
+        // PGDs 1..=8 each map L1s 10..14 (heavily shared) plus a
+        // private L1; L1s map data frames 30.. writable.
+        let pgds: Vec<FrameNum> = (1..=8).map(FrameNum).collect();
+        for l1 in 10..15u32 {
+            for slot in 0..4usize {
+                mem.write_pte(
+                    &cpu,
+                    FrameNum(l1),
+                    slot,
+                    Pte::new(30 + (l1 - 10) * 4 + slot as u32, Pte::WRITABLE),
+                )
+                .unwrap();
+            }
+        }
+        for (i, &pgd) in pgds.iter().enumerate() {
+            for (slot, l1) in (10..15u32).enumerate() {
+                mem.write_pte(&cpu, pgd, slot, Pte::new(l1, Pte::WRITABLE))
+                    .unwrap();
+            }
+            // Private L1 per pgd.
+            let private = 20 + i as u32;
+            mem.write_pte(&cpu, FrameNum(private), 0, Pte::new(50 + i as u32, Pte::WRITABLE))
+                .unwrap();
+            mem.write_pte(&cpu, pgd, 5, Pte::new(private, Pte::WRITABLE))
+                .unwrap();
+        }
+
+        // Serial reference.
+        t.recompute_for(&cpu, &mem, D, frames, &pgds).unwrap();
+        let serial = t.snapshot();
+
+        // Sharded run: 4 threads pull pgds from a shared index.
+        t.clear_types_for(D);
+        let t = Arc::new(t);
+        let mem = Arc::new(mem);
+        let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let pgds = Arc::new(pgds);
+        let workers: Vec<_> = (0..4)
+            .map(|id| {
+                let (t, mem, next, pgds) =
+                    (Arc::clone(&t), Arc::clone(&mem), Arc::clone(&next), Arc::clone(&pgds));
+                std::thread::spawn(move || {
+                    let wcpu = Arc::new(Cpu::new(id));
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                        let Some(&pgd) = pgds.get(i) else { break };
+                        t.validate_l2_shared(&wcpu, &mem, pgd, D).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(t.snapshot(), serial);
+    }
+
+    #[test]
+    fn sharded_validation_rejects_writable_page_table() {
+        let (t, mem, cpu) = rig(8);
+        // PGD 1 → L1 2 → maps PGD 1 itself writable: the claim path
+        // must reject it just like the serial walk does.
+        mem.write_pte(&cpu, FrameNum(1), 0, Pte::new(2, Pte::WRITABLE))
+            .unwrap();
+        mem.write_pte(&cpu, FrameNum(2), 0, Pte::new(1, Pte::WRITABLE))
+            .unwrap();
+        assert!(t.validate_l2_shared(&cpu, &mem, FrameNum(1), D).is_err());
+        // Wholesale teardown is the caller's contract.
+        t.clear_types_for(D);
+        assert_eq!(t.type_of(FrameNum(2)), (PageType::None, 0));
+    }
+
+    #[test]
+    fn dirty_baseline_reset_and_count() {
+        let (t, _, _) = rig(8);
+        t.set_owner(FrameNum(7), Some(DomId(9)));
+        t.mark_dirty(FrameNum(1));
+        t.mark_dirty(FrameNum(2));
+        t.mark_dirty(FrameNum(7)); // foreign — not counted, not reset
+        assert_eq!(t.count_dirty_for(D), 2);
+        t.reset_dirty_for(D);
+        assert_eq!(t.count_dirty_for(D), 0);
+        assert!(t.get(FrameNum(7)).dirty, "foreign dirty bit untouched");
+        t.mark_dirty(FrameNum(3));
+        assert_eq!(t.count_dirty_for(D), 1);
     }
 
     #[test]

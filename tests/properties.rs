@@ -9,7 +9,8 @@
 //! * **Checkpoint fidelity** — restore reproduces exactly the kernel
 //!   state at capture, regardless of what ran before.
 
-use mercury_workloads::configs::{SysKind, TestBed};
+use mercury::TrackingStrategy;
+use mercury_workloads::configs::{switch_with_peers, SysKind, TestBed};
 use nimbus::kernel::{MmapBacking, ReadOutcome};
 use nimbus::mm::Prot;
 use nimbus::Session;
@@ -99,6 +100,132 @@ fn run_ops(bed: &TestBed, ops: &[Op]) -> Vec<String> {
         }
     }
     log
+}
+
+/// Ops exercising the address-space *shape* — mmap/fork/munmap
+/// interleavings, with pokes so tables actually fault in — used by the
+/// strategy-equivalence properties below.
+#[derive(Debug, Clone)]
+enum MemOp {
+    Mmap { pages: u8 },
+    Poke { area: u8, page: u8, value: u64 },
+    Munmap { area: u8 },
+    ForkExitWait,
+}
+
+fn mem_op_strategy() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (1u8..8).prop_map(|pages| MemOp::Mmap { pages }),
+        (any::<u8>(), 0u8..8, any::<u64>())
+            .prop_map(|(area, page, value)| MemOp::Poke { area, page, value }),
+        any::<u8>().prop_map(|area| MemOp::Munmap { area }),
+        Just(MemOp::ForkExitWait),
+    ]
+}
+
+fn run_mem_ops(bed: &TestBed, ops: &[MemOp]) {
+    let sess = bed.session(0);
+    let mut areas: Vec<(VirtAddr, u8)> = Vec::new();
+    for op in ops {
+        match op {
+            MemOp::Mmap { pages } => {
+                let va = sess
+                    .mmap(*pages as usize, Prot::RW, MmapBacking::Anon)
+                    .unwrap();
+                areas.push((va, *pages));
+            }
+            MemOp::Poke { area, page, value } => {
+                let Some(&(va, pages)) = areas.get(*area as usize % areas.len().max(1)) else {
+                    continue;
+                };
+                let addr = VirtAddr(va.0 + u64::from(page % pages) * PAGE_SIZE);
+                if sess.poke(addr, *value).is_err() {
+                    sess.clear_signal();
+                }
+            }
+            MemOp::Munmap { area } => {
+                if areas.is_empty() {
+                    continue;
+                }
+                let (va, pages) = areas.remove(*area as usize % areas.len());
+                let _ = sess.munmap(va, pages as u64);
+            }
+            MemOp::ForkExitWait => {
+                sess.fork().unwrap();
+                assert!(sess.waitpid().unwrap().is_none());
+                sess.exit(0).unwrap();
+                sess.waitpid().unwrap().unwrap();
+            }
+        }
+    }
+}
+
+/// Dirty bits are the tracking instrument itself (they legitimately
+/// differ by strategy); everything else must be bit-identical.
+fn strip_dirty(v: Vec<xenon::PageInfo>) -> Vec<xenon::PageInfo> {
+    v.into_iter()
+        .map(|mut r| {
+            r.dirty = false;
+            r
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case boots three machines — keep it affordable
+        .. ProptestConfig::default()
+    })]
+
+    /// §5.1.2 equivalence: whichever way the VMM regains its frame
+    /// accounting — full recompute, active mirroring, or dirty-bit
+    /// incremental revalidation — the rebuilt `page_info` is
+    /// bit-identical after any mmap/fork/munmap interleaving.  The ops
+    /// run in the *native* window between a detach and a re-attach, so
+    /// the dirty/mirror paths do real work.
+    #[test]
+    fn all_strategies_rebuild_identical_accounting(
+        ops in proptest::collection::vec(mem_op_strategy(), 1..20)
+    ) {
+        let mut snaps = Vec::new();
+        for strategy in [
+            TrackingStrategy::RecomputeOnSwitch,
+            TrackingStrategy::ActiveTracking,
+            TrackingStrategy::DirtyRecompute,
+        ] {
+            let bed = TestBed::build_mn_with_strategy(1, strategy);
+            let mercury = bed.mercury.as_ref().unwrap();
+            let cpu = bed.machine.boot_cpu();
+            // Establish a detach baseline, mutate natively, re-attach.
+            mercury.switch_to_virtual(cpu).unwrap();
+            mercury.switch_to_native(cpu).unwrap();
+            run_mem_ops(&bed, &ops);
+            mercury.switch_to_virtual(cpu).unwrap();
+            snaps.push(strip_dirty(bed.hv.as_ref().unwrap().page_info.snapshot()));
+        }
+        prop_assert_eq!(&snaps[0], &snaps[1], "active mirror diverged from recompute");
+        prop_assert_eq!(&snaps[0], &snaps[2], "dirty recompute diverged from recompute");
+    }
+
+    /// The §5.4 work-phase recompute, sharded across rendezvoused
+    /// peers, rebuilds exactly the serial walk's snapshot.
+    #[test]
+    fn sharded_recompute_matches_serial_snapshot(
+        ops in proptest::collection::vec(mem_op_strategy(), 1..16)
+    ) {
+        let bed = TestBed::build_mn_with_strategy(4, TrackingStrategy::RecomputeOnSwitch);
+        run_mem_ops(&bed, &ops);
+        let mercury = bed.mercury.as_ref().unwrap();
+        let hv = bed.hv.as_ref().unwrap();
+        prop_assert!(mercury.sharded_recompute());
+        switch_with_peers(&bed.machine, mercury, true);
+        let sharded = strip_dirty(hv.page_info.snapshot());
+        switch_with_peers(&bed.machine, mercury, false);
+        mercury.set_sharded_recompute(false);
+        switch_with_peers(&bed.machine, mercury, true);
+        let serial = strip_dirty(hv.page_info.snapshot());
+        prop_assert_eq!(sharded, serial, "sharded validation diverged from the serial walk");
+    }
 }
 
 proptest! {

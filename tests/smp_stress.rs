@@ -133,4 +133,18 @@ fn smp_switches_under_concurrent_load() {
         assert_eq!(cpu.pl(), simx86::PrivLevel::Pl0);
         assert_eq!(cpu.current_idt().unwrap().owner, "nimbus");
     }
+    // With the happens-before checker compiled in, every rendezvous
+    // round and every sharded work phase above ran under the
+    // vector-clock monitors: any missing release/acquire edge (a chunk
+    // completion not ordered before signal_go, a check-in not ordered
+    // before the CP's decision) would have been recorded.
+    #[cfg(feature = "dyncheck")]
+    {
+        let reports = mercury::dyncheck::take_reports();
+        assert!(
+            reports.is_empty(),
+            "dyncheck found happens-before violations:\n{}",
+            reports.join("\n")
+        );
+    }
 }

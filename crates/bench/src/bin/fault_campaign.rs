@@ -600,10 +600,12 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
-    assert!(
-        faultgen::ENABLED,
-        "fault_campaign needs the faultgen hooks compiled in (feature `enabled`)"
-    );
+    const {
+        assert!(
+            faultgen::ENABLED,
+            "fault_campaign needs the faultgen hooks compiled in (feature `enabled`)"
+        )
+    };
 
     let mut seed = 7u64;
     let mut quick = false;

@@ -1,0 +1,618 @@
+//! Tail latency under self-virtualization (DESIGN.md §13, EXPERIMENTS.md
+//! "Serving tail latency").
+//!
+//! The paper argues a mode switch is invisible to running applications
+//! (§7.4: ~0.22 ms attach, ~0.06 ms detach).  This binary asks the
+//! operator's version of that question: *what happens to request
+//! p50/p99/p999 when the machine self-virtualizes under live load?*
+//!
+//! Scenarios (all on the simulated cycle clock, via `mercury-servo`):
+//!
+//! * **steady-native / steady-virtual** at 1, 2 and 4 CPUs — the two
+//!   anchors, no switching;
+//! * **switch-under-load** — a uniprocessor node attaching/detaching on
+//!   a fixed cadence while open-loop traffic keeps arriving (arrivals do
+//!   not pause for the switch; the pause shows up as queueing);
+//! * **cluster-steady / cluster-switch** — two nodes behind the
+//!   least-loaded balancer, with node 0 switching on cadence in the
+//!   second variant;
+//! * **fault-campaign-under-load** — seeded memory bit-flips injected
+//!   beneath live traffic, detected by sweep reads, answered by the
+//!   watchdog's reactive attach (and detach at window end).
+//!
+//! Determinism: the whole suite runs **twice in-process** and every
+//! request record (arrival/start/finish cycles, shape, worker, outcome)
+//! plus every switch counter must be bit-identical before anything is
+//! archived.  Switch-during-load scenarios run on uniprocessor nodes
+//! only: SMP rendezvous spin cycles depend on host thread timing, so
+//! multi-CPU beds are measured steady-state (their one setup switch
+//! lands before the traffic-start base the records are relative to).
+//!
+//! Emits `serving_results.json`: per-scenario tail stats (cycles and
+//! µs), switch counts and cycles charged during the traffic window
+//! (from `SwitchStats::total_{attach,detach}_cycles` deltas), and the
+//! headline p99/p999 inflation ratios against the steady-native anchor.
+//!
+//! Exits non-zero if the suite was non-deterministic, any scenario lost
+//! a request, a switching scenario failed to switch, or a fault went
+//! unrecovered.
+
+use faultgen::{FaultSpec, FaultTarget};
+use mercury_cluster::{Cluster, Node, NodeConfig, Watchdog, WatchdogPolicy};
+use mercury_servo::{
+    generate, tail_stats, ClusterServer, LoadConfig, NodeServer, RequestRecord, ServerConfig,
+    TailStats,
+};
+use mercury_workloads::configs::switch_with_peers;
+use mercury_workloads::mix::CostMix;
+use simx86::costs::cycles_to_us;
+use simx86::PhysAddr;
+use std::sync::Arc;
+
+/// Toggle the VMM every this many cycles of stream time (1 ms: long
+/// enough to amortize, short enough that a 4 000-request run sees tens
+/// of switches).
+const SWITCH_PERIOD: u64 = 3_000_000;
+
+/// Inject one fault every this many cycles in the fault scenario.
+const FAULT_PERIOD: u64 = 1_500_000;
+
+/// Detach (end the watchdog's holding window) every this many cycles.
+const WINDOW_PERIOD: u64 = 6_000_000;
+
+/// Scenario sizing.
+struct Sizing {
+    steady_requests: u32,
+    switch_requests: u32,
+    cluster_requests: u32,
+    fault_requests: u32,
+    steady_cpus: &'static [usize],
+}
+
+impl Sizing {
+    fn full() -> Sizing {
+        Sizing {
+            steady_requests: 4_000,
+            switch_requests: 4_000,
+            cluster_requests: 3_000,
+            fault_requests: 2_500,
+            steady_cpus: &[1, 2, 4],
+        }
+    }
+
+    /// CI smoke: same scenario shape, a few times cheaper.
+    fn quick() -> Sizing {
+        Sizing {
+            steady_requests: 800,
+            switch_requests: 800,
+            cluster_requests: 600,
+            fault_requests: 500,
+            steady_cpus: &[1, 2],
+        }
+    }
+}
+
+/// Switch-engine counters relevant to serving windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SwitchSnap {
+    attaches: u64,
+    detaches: u64,
+    attach_cycles: u64,
+    detach_cycles: u64,
+}
+
+fn snap(node: &Node) -> SwitchSnap {
+    use std::sync::atomic::Ordering::Relaxed;
+    let s = &node.mercury().stats;
+    SwitchSnap {
+        attaches: s.attaches.load(Relaxed),
+        detaches: s.detaches.load(Relaxed),
+        attach_cycles: s.total_attach_cycles.load(Relaxed),
+        detach_cycles: s.total_detach_cycles.load(Relaxed),
+    }
+}
+
+fn delta(node: &Node, base: SwitchSnap) -> SwitchSnap {
+    let s = snap(node);
+    SwitchSnap {
+        attaches: s.attaches - base.attaches,
+        detaches: s.detaches - base.detaches,
+        attach_cycles: s.attach_cycles - base.attach_cycles,
+        detach_cycles: s.detach_cycles - base.detach_cycles,
+    }
+}
+
+/// Everything one scenario produced.  `PartialEq` is the determinism
+/// gate: two same-seed passes must compare equal, record for record.
+#[derive(Clone, PartialEq)]
+struct ScenarioRun {
+    name: String,
+    mode: &'static str,
+    cpus: usize,
+    nodes: usize,
+    mix: &'static str,
+    records: Vec<RequestRecord>,
+    switches: SwitchSnap,
+    faults_recovered: u64,
+}
+
+fn node_config(cpus: usize) -> NodeConfig {
+    NodeConfig {
+        num_cpus: cpus,
+        ..NodeConfig::default()
+    }
+}
+
+fn oltp_traffic(seed: u64, workers: usize, requests: u32) -> Vec<mercury_servo::Arrival> {
+    generate(&LoadConfig {
+        seed,
+        // Fixed per-worker offered rate: ~0.1 ms between arrivals per
+        // CPU, well under saturation but busy enough to queue.
+        mean_gap_cycles: 300_000 / workers as u64,
+        requests,
+        mix: CostMix::oltp(),
+    })
+}
+
+/// Steady-state node, native or virtual, no switching during traffic.
+fn scenario_steady(seed: u64, cpus: usize, virtual_mode: bool, requests: u32) -> ScenarioRun {
+    let node = Node::launch("bench", &node_config(cpus));
+    if virtual_mode {
+        // The one setup switch; on SMP beds the rendezvous spin cycles
+        // are host-timing dependent, which is why it happens *before*
+        // the traffic-start base that records are measured against.
+        switch_with_peers(&node.machine, &node.mercury(), true);
+    }
+    let mut server = NodeServer::new(
+        &node,
+        0,
+        ServerConfig {
+            workers: cpus,
+            ..ServerConfig::default()
+        },
+    );
+    let traffic = oltp_traffic(seed, cpus, requests);
+    let base = snap(&node);
+    server.run(&traffic, |_, _| {});
+    let mode = if virtual_mode { "virtual" } else { "native" };
+    ScenarioRun {
+        name: format!("steady-{mode}-{cpus}cpu"),
+        mode,
+        cpus,
+        nodes: 1,
+        mix: "oltp",
+        records: server.records().to_vec(),
+        switches: delta(&node, base),
+        faults_recovered: 0,
+    }
+}
+
+/// Uniprocessor node toggling attach/detach on a fixed cadence while
+/// open-loop traffic keeps arriving.
+fn scenario_switch_under_load(seed: u64, requests: u32) -> ScenarioRun {
+    let node = Node::launch("bench", &node_config(1));
+    let mercury = node.mercury();
+    let mut server = NodeServer::new(&node, 0, ServerConfig::default());
+    let traffic = oltp_traffic(seed, 1, requests);
+    let base = snap(&node);
+    let mut next = SWITCH_PERIOD;
+    let mut to_virtual = true;
+    server.run(&traffic, |srv, off| {
+        while off >= next {
+            let cpu = srv.node().machine.boot_cpu();
+            let out = if to_virtual {
+                mercury.switch_to_virtual(cpu)
+            } else {
+                mercury.switch_to_native(cpu)
+            }
+            .expect("mode switch under load");
+            assert!(
+                matches!(out, mercury::SwitchOutcome::Completed { .. }),
+                "UP switch must complete: {out:?}"
+            );
+            to_virtual = !to_virtual;
+            next += SWITCH_PERIOD;
+        }
+    });
+    ScenarioRun {
+        name: "switch-under-load-1cpu".to_string(),
+        mode: "switching",
+        cpus: 1,
+        nodes: 1,
+        mix: "oltp",
+        records: server.records().to_vec(),
+        switches: delta(&node, base),
+        faults_recovered: 0,
+    }
+}
+
+fn cluster_fleet(n: usize) -> (Cluster, ClusterServer) {
+    let cluster = Cluster::launch(n, &NodeConfig::default());
+    let cfg = ServerConfig {
+        // The NICs carry the inter-node links; leave them wired.
+        attach_echo_host: false,
+        ..ServerConfig::default()
+    };
+    let servers = cluster
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| NodeServer::new(node, i as u32, cfg))
+        .collect();
+    (cluster, ClusterServer::new(servers))
+}
+
+fn web_traffic(seed: u64, nodes: usize, requests: u32) -> Vec<mercury_servo::Arrival> {
+    generate(&LoadConfig {
+        seed,
+        mean_gap_cycles: 200_000 / nodes as u64,
+        requests,
+        mix: CostMix::web(),
+    })
+}
+
+/// Two uniprocessor nodes behind the least-loaded balancer; in the
+/// switching variant node 0 toggles on cadence and the balancer routes
+/// around its stall.
+fn scenario_cluster(seed: u64, requests: u32, switching: bool) -> ScenarioRun {
+    let (cluster, mut lb) = cluster_fleet(2);
+    let traffic = web_traffic(seed, 2, requests);
+    let bases: Vec<SwitchSnap> = cluster.nodes.iter().map(|n| snap(n)).collect();
+    if switching {
+        let mercury = cluster.node(0).mercury();
+        let mut next = SWITCH_PERIOD;
+        let mut to_virtual = true;
+        lb.run(&traffic, |srv, off| {
+            while off >= next {
+                let cpu = srv.nodes()[0].node().machine.boot_cpu();
+                let out = if to_virtual {
+                    mercury.switch_to_virtual(cpu)
+                } else {
+                    mercury.switch_to_native(cpu)
+                }
+                .expect("node0 switch under load");
+                assert!(matches!(out, mercury::SwitchOutcome::Completed { .. }));
+                to_virtual = !to_virtual;
+                next += SWITCH_PERIOD;
+            }
+        });
+    } else {
+        lb.run(&traffic, |_, _| {});
+    }
+    let mut switches = SwitchSnap::default();
+    for (node, base) in cluster.nodes.iter().zip(bases) {
+        let d = delta(node, base);
+        switches.attaches += d.attaches;
+        switches.detaches += d.detaches;
+        switches.attach_cycles += d.attach_cycles;
+        switches.detach_cycles += d.detach_cycles;
+    }
+    ScenarioRun {
+        name: if switching {
+            "cluster-switch-2node".to_string()
+        } else {
+            "cluster-steady-2node".to_string()
+        },
+        mode: if switching { "switching" } else { "native" },
+        cpus: 1,
+        nodes: 2,
+        mix: "web",
+        records: lb.records(),
+        switches,
+        faults_recovered: 0,
+    }
+}
+
+/// Seeded memory bit-flips injected beneath live traffic on a
+/// uniprocessor node: sweep reads detect them between requests, the
+/// watchdog answers with reactive attach, and `end_window` detaches on
+/// cadence — all of it charged to the serving CPU's clock.
+fn scenario_fault_under_load(seed: u64, requests: u32) -> ScenarioRun {
+    let node = Node::launch("bench", &node_config(1));
+    let mut server = NodeServer::new(&node, 0, ServerConfig::default());
+    let traffic = oltp_traffic(seed.wrapping_add(1), 1, requests);
+    let base = snap(&node);
+
+    faultgen::reset();
+    let mut rng = faultgen::rng::SplitMix64::new(seed ^ 0xfa01);
+    let mut dog = Watchdog::new(
+        node.mercury(),
+        Arc::clone(&node.machine),
+        node.kernel(),
+        WatchdogPolicy {
+            attach_on_fault: true,
+            ..WatchdogPolicy::default()
+        },
+    );
+    // Pre-plan the flips (high frames, one per word) so both passes
+    // draw the identical fault sequence.
+    let span = traffic.last().map(|a| a.offset).unwrap_or(0);
+    let planned = (span / FAULT_PERIOD) as usize;
+    let mut used = std::collections::BTreeSet::new();
+    let mut plan = Vec::new();
+    for i in 0..planned {
+        let (frame, word) = loop {
+            let f = 15_000 + rng.below(1_000) as u32;
+            let w = rng.below(512) as u16;
+            if used.insert((f, w)) {
+                break (f, w);
+            }
+        };
+        plan.push(FaultSpec {
+            id: 9_000 + i as u64,
+            due_cycle: 0,
+            target: FaultTarget::MemWord {
+                frame,
+                word,
+                bit: rng.below(64) as u8,
+            },
+        });
+    }
+
+    let mut next_fault = FAULT_PERIOD;
+    let mut next_window = WINDOW_PERIOD;
+    let mut cursor = 0usize;
+    server.run(&traffic, |srv, off| {
+        let machine = Arc::clone(&srv.node().machine);
+        let cpu = machine.boot_cpu();
+        while off >= next_fault && cursor < plan.len() {
+            let spec = plan[cursor];
+            cursor += 1;
+            let FaultTarget::MemWord { frame, word, .. } = spec.target else {
+                unreachable!("plan holds MemWord faults only")
+            };
+            faultgen::arm(vec![spec]);
+            // The scrubber sweep read that trips the planted flip.
+            let pa = PhysAddr(((frame as u64) << 12) + (word as u64) * 8);
+            machine.mem.read_word(cpu, pa).expect("sweep read");
+            dog.poll(cpu);
+            next_fault += FAULT_PERIOD;
+        }
+        while off >= next_window {
+            // End the holding window: reactive attach pays its detach.
+            dog.end_window(cpu);
+            next_window += WINDOW_PERIOD;
+        }
+    });
+    {
+        let cpu = node.machine.boot_cpu();
+        dog.end_window(cpu);
+    }
+    faultgen::reset();
+
+    let recovered = dog.reports().iter().filter(|r| r.recovered).count() as u64;
+    assert_eq!(
+        recovered,
+        dog.reports().len() as u64,
+        "every injected fault must be recovered"
+    );
+    ScenarioRun {
+        name: "fault-campaign-under-load-1cpu".to_string(),
+        mode: "reactive",
+        cpus: 1,
+        nodes: 1,
+        mix: "oltp",
+        records: server.records().to_vec(),
+        switches: delta(&node, base),
+        faults_recovered: recovered,
+    }
+}
+
+/// One full suite pass: a pure function of `seed`.
+fn run_suite(seed: u64, sizing: &Sizing) -> Vec<ScenarioRun> {
+    let mut out = Vec::new();
+    for &cpus in sizing.steady_cpus {
+        out.push(scenario_steady(seed, cpus, false, sizing.steady_requests));
+    }
+    for &cpus in sizing.steady_cpus {
+        out.push(scenario_steady(seed, cpus, true, sizing.steady_requests));
+    }
+    out.push(scenario_switch_under_load(seed, sizing.switch_requests));
+    out.push(scenario_cluster(seed, sizing.cluster_requests, false));
+    out.push(scenario_cluster(seed, sizing.cluster_requests, true));
+    out.push(scenario_fault_under_load(seed, sizing.fault_requests));
+    out
+}
+
+fn json_scenario(s: &ScenarioRun, t: &TailStats) -> String {
+    format!(
+        concat!(
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"cpus\": {}, \"nodes\": {}, ",
+            "\"mix\": \"{}\", \"offered\": {}, \"completed\": {}, \"shed\": {}, ",
+            "\"p50_cycles\": {}, \"p99_cycles\": {}, \"p999_cycles\": {}, \"max_cycles\": {}, ",
+            "\"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, ",
+            "\"mean_us\": {:.3}, \"mean_queue_us\": {:.3}, ",
+            "\"attaches\": {}, \"detaches\": {}, ",
+            "\"attach_cycles\": {}, \"detach_cycles\": {}, \"faults_recovered\": {}}}"
+        ),
+        s.name,
+        s.mode,
+        s.cpus,
+        s.nodes,
+        s.mix,
+        t.offered,
+        t.completed,
+        t.shed,
+        t.p50_cycles,
+        t.p99_cycles,
+        t.p999_cycles,
+        t.max_cycles,
+        cycles_to_us(t.p50_cycles),
+        cycles_to_us(t.p99_cycles),
+        cycles_to_us(t.p999_cycles),
+        t.mean_cycles / simx86::costs::CYCLES_PER_US as f64,
+        t.mean_queue_cycles / simx86::costs::CYCLES_PER_US as f64,
+        s.switches.attaches,
+        s.switches.detaches,
+        s.switches.attach_cycles,
+        s.switches.detach_cycles,
+        s.faults_recovered,
+    )
+}
+
+fn main() {
+    const {
+        assert!(
+            faultgen::ENABLED,
+            "serving_tail needs the faultgen hooks compiled in (feature `enabled`)"
+        )
+    };
+
+    let mut seed = 11u64;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--quick" => quick = true,
+            other => panic!("unknown argument {other:?} (use --seed N / --quick)"),
+        }
+    }
+    let sizing = if quick { Sizing::quick() } else { Sizing::full() };
+
+    eprintln!(
+        "serving_tail: seed {seed} ({}), two passes for determinism",
+        if quick { "quick" } else { "full" }
+    );
+    let pass1 = run_suite(seed, &sizing);
+    let pass2 = run_suite(seed, &sizing);
+    let deterministic = pass1 == pass2;
+
+    let stats: Vec<TailStats> = pass1.iter().map(|s| tail_stats(&s.records)).collect();
+
+    // -- report ----------------------------------------------------------
+    println!("Serving tail latency (seed {seed})");
+    println!("| scenario | cpus×nodes | offered | shed | p50 µs | p99 µs | p999 µs | switches | switch µs |");
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    for (s, t) in pass1.iter().zip(&stats) {
+        println!(
+            "| {} | {}×{} | {} | {} | {:.1} | {:.1} | {:.1} | {} | {:.1} |",
+            s.name,
+            s.cpus,
+            s.nodes,
+            t.offered,
+            t.shed,
+            cycles_to_us(t.p50_cycles),
+            cycles_to_us(t.p99_cycles),
+            cycles_to_us(t.p999_cycles),
+            s.switches.attaches + s.switches.detaches,
+            cycles_to_us(s.switches.attach_cycles + s.switches.detach_cycles),
+        );
+    }
+
+    // Headline inflation ratios against the steady-native UP anchor.
+    let anchor = |name: &str| -> &TailStats {
+        pass1
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| &stats[i])
+            .unwrap_or_else(|| panic!("missing scenario {name}"))
+    };
+    let native = anchor("steady-native-1cpu");
+    let virt = anchor("steady-virtual-1cpu");
+    let switching = anchor("switch-under-load-1cpu");
+    let faulting = anchor("fault-campaign-under-load-1cpu");
+    let ratio = |a: u64, b: u64| a as f64 / b.max(1) as f64;
+    println!(
+        "\nvs steady native (UP): virtual p99 {:.2}x | switching p99 {:.2}x p999 {:.2}x | faults p99 {:.2}x p999 {:.2}x",
+        ratio(virt.p99_cycles, native.p99_cycles),
+        ratio(switching.p99_cycles, native.p99_cycles),
+        ratio(switching.p999_cycles, native.p999_cycles),
+        ratio(faulting.p99_cycles, native.p99_cycles),
+        ratio(faulting.p999_cycles, native.p999_cycles),
+    );
+
+    // -- archive ---------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"determinism\": \"{}\",\n",
+        if deterministic { "verified" } else { "FAILED" }
+    ));
+    json.push_str("  \"inflation_vs_steady_native_1cpu\": {\n");
+    json.push_str(&format!(
+        "    \"steady_virtual_p99\": {:.4},\n",
+        ratio(virt.p99_cycles, native.p99_cycles)
+    ));
+    json.push_str(&format!(
+        "    \"switch_under_load_p99\": {:.4},\n",
+        ratio(switching.p99_cycles, native.p99_cycles)
+    ));
+    json.push_str(&format!(
+        "    \"switch_under_load_p999\": {:.4},\n",
+        ratio(switching.p999_cycles, native.p999_cycles)
+    ));
+    json.push_str(&format!(
+        "    \"fault_campaign_p99\": {:.4},\n",
+        ratio(faulting.p99_cycles, native.p99_cycles)
+    ));
+    json.push_str(&format!(
+        "    \"fault_campaign_p999\": {:.4}\n",
+        ratio(faulting.p999_cycles, native.p999_cycles)
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"scenarios\": [\n");
+    let rows: Vec<String> = pass1
+        .iter()
+        .zip(&stats)
+        .map(|(s, t)| json_scenario(s, t))
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("serving_results.json", &json).expect("write serving_results.json");
+    eprintln!("wrote serving_results.json");
+
+    // -- gates -----------------------------------------------------------
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("FAIL: {msg}");
+        ok = false;
+    };
+    if !deterministic {
+        fail("two same-seed passes diverged".to_string());
+    }
+    for (s, t) in pass1.iter().zip(&stats) {
+        if t.offered != t.completed + t.shed {
+            fail(format!("{}: offered {} != completed+shed", s.name, t.offered));
+        }
+        if t.completed == 0 {
+            fail(format!("{}: no request completed", s.name));
+        }
+        match s.mode {
+            "switching" => {
+                if s.switches.attaches == 0 || s.switches.detaches == 0 {
+                    fail(format!("{}: switching scenario never switched", s.name));
+                }
+                if s.switches.attach_cycles == 0 {
+                    fail(format!("{}: no attach cycles charged", s.name));
+                }
+            }
+            "reactive" => {
+                if s.faults_recovered == 0 {
+                    fail(format!("{}: no fault recovered", s.name));
+                }
+                if s.switches.attaches == 0 {
+                    fail(format!("{}: reactive scenario never attached", s.name));
+                }
+            }
+            _ => {
+                if s.switches.attaches != 0 || s.switches.detaches != 0 {
+                    fail(format!(
+                        "{}: steady scenario switched during traffic",
+                        s.name
+                    ));
+                }
+            }
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -163,6 +163,14 @@ pub struct SwitchStats {
     /// Wall-clock (makespan) cycles of the most recent attach-time
     /// frame-accounting phase — the §7.4 recompute, serial or sharded.
     pub last_pginfo_cycles: AtomicU64,
+    /// Cumulative cycles spent inside completed native→virtual
+    /// switches.  Serving-layer reports subtract two snapshots of this
+    /// to charge exactly the switch cost incurred during a traffic
+    /// window (the `serving_tail` bench's per-scenario accounting).
+    pub total_attach_cycles: AtomicU64,
+    /// Cumulative cycles spent inside completed virtual→native
+    /// switches (see [`SwitchStats::total_attach_cycles`]).
+    pub total_detach_cycles: AtomicU64,
 }
 
 /// Descriptor of the rendezvous round in flight, published by the
@@ -519,12 +527,18 @@ impl Mercury {
                     self.stats
                         .last_attach_cycles
                         .store(*cycles, Ordering::Relaxed);
+                    self.stats
+                        .total_attach_cycles
+                        .fetch_add(*cycles, Ordering::Relaxed);
                 }
                 ExecMode::Native => {
                     self.stats.detaches.fetch_add(1, Ordering::Relaxed);
                     self.stats
                         .last_detach_cycles
                         .store(*cycles, Ordering::Relaxed);
+                    self.stats
+                        .total_detach_cycles
+                        .fetch_add(*cycles, Ordering::Relaxed);
                 }
             }
             *self.pending.lock() = None;

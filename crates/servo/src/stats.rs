@@ -1,0 +1,173 @@
+//! Exact tail-latency statistics over recorded requests.
+//!
+//! Percentiles are computed by **nearest rank** over the full sorted
+//! vector of completed-request sojourn times — no reservoirs, no
+//! digests, no interpolation.  The runs here are small enough (10³–10⁵
+//! requests) that exactness is free, and exactness is what makes two
+//! same-seed runs comparable bit-for-bit.
+//!
+//! Sheds are excluded from the latency distribution but reported in
+//! [`TailStats::shed`]: a server that hit its p99 target by dropping a
+//! tenth of its traffic did not hit its p99 target.
+
+use crate::sched::{Outcome, RequestRecord};
+
+/// Summary of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailStats {
+    /// Requests offered (completed + shed).
+    pub offered: u64,
+    /// Requests run to completion.
+    pub completed: u64,
+    /// Requests tail-dropped at admission.
+    pub shed: u64,
+    /// Median sojourn (arrival → finish), simulated cycles.
+    pub p50_cycles: u64,
+    /// 99th-percentile sojourn, simulated cycles.
+    pub p99_cycles: u64,
+    /// 99.9th-percentile sojourn, simulated cycles.
+    pub p999_cycles: u64,
+    /// Worst sojourn, simulated cycles.
+    pub max_cycles: u64,
+    /// Mean sojourn, simulated cycles.
+    pub mean_cycles: f64,
+    /// Mean queueing delay (arrival → start), simulated cycles.
+    pub mean_queue_cycles: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// value with at least `permille`/1000 of the mass at or below it.
+/// Integer arithmetic throughout — `0.999 * 1000` under f64 ceils to
+/// 1000, and an off-by-one at the extreme tail is exactly the value
+/// this crate exists to get right.
+fn nearest_rank(sorted: &[u64], permille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (permille * n).div_ceil(1000);
+    sorted[rank.clamp(1, n) as usize - 1]
+}
+
+/// Compute [`TailStats`] over a run's records.
+///
+/// ```
+/// use mercury_servo::sched::{Outcome, RequestRecord};
+/// use mercury_servo::stats::tail_stats;
+///
+/// let rec = |id, arrival, finish| RequestRecord {
+///     id, shape: "probe", node: 0, worker: 0,
+///     arrival, start: arrival, finish, outcome: Outcome::Completed,
+/// };
+/// // 100 one-cycle requests and one 500-cycle straggler.
+/// let mut records: Vec<_> = (0..100).map(|i| rec(i, i, i + 1)).collect();
+/// records.push(rec(100, 100, 600));
+/// let s = tail_stats(&records);
+/// assert_eq!(s.offered, 101);
+/// assert_eq!(s.p50_cycles, 1);
+/// assert_eq!(s.p999_cycles, 500); // the straggler owns the extreme tail
+/// assert_eq!(s.max_cycles, 500);
+/// ```
+pub fn tail_stats(records: &[RequestRecord]) -> TailStats {
+    let mut sojourns: Vec<u64> = Vec::with_capacity(records.len());
+    let mut queue_sum = 0u128;
+    let mut shed = 0u64;
+    for r in records {
+        match r.outcome {
+            Outcome::Completed => {
+                sojourns.push(r.finish - r.arrival);
+                queue_sum += (r.start - r.arrival) as u128;
+            }
+            Outcome::Shed => shed += 1,
+        }
+    }
+    sojourns.sort_unstable();
+    let completed = sojourns.len() as u64;
+    let sum: u128 = sojourns.iter().map(|&v| v as u128).sum();
+    TailStats {
+        offered: completed + shed,
+        completed,
+        shed,
+        p50_cycles: nearest_rank(&sojourns, 500),
+        p99_cycles: nearest_rank(&sojourns, 990),
+        p999_cycles: nearest_rank(&sojourns, 999),
+        max_cycles: sojourns.last().copied().unwrap_or(0),
+        mean_cycles: if completed == 0 {
+            0.0
+        } else {
+            sum as f64 / completed as f64
+        },
+        mean_queue_cycles: if completed == 0 {
+            0.0
+        } else {
+            queue_sum as f64 / completed as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(id: u64, arrival: u64, start: u64, finish: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            shape: "t",
+            node: 0,
+            worker: 0,
+            arrival,
+            start,
+            finish,
+            outcome: Outcome::Completed,
+        }
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let s = tail_stats(&[]);
+        assert_eq!(s.offered, 0);
+        assert_eq!(s.p999_cycles, 0);
+        assert_eq!(s.mean_cycles, 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computation() {
+        // Sojourns 1..=1000: p50 = 500, p99 = 990, p999 = 999.
+        let records: Vec<_> = (1..=1000).map(|v| completed(v, 0, 0, v)).collect();
+        let s = tail_stats(&records);
+        assert_eq!(s.p50_cycles, 500);
+        assert_eq!(s.p99_cycles, 990);
+        assert_eq!(s.p999_cycles, 999);
+        assert_eq!(s.max_cycles, 1000);
+        assert_eq!(s.mean_cycles, 500.5);
+    }
+
+    #[test]
+    fn sheds_count_against_offered_not_latency() {
+        let mut records = vec![completed(0, 0, 5, 10)];
+        records.push(RequestRecord {
+            id: 1,
+            shape: "t",
+            node: 0,
+            worker: 0,
+            arrival: 3,
+            start: 3,
+            finish: 3,
+            outcome: Outcome::Shed,
+        });
+        let s = tail_stats(&records);
+        assert_eq!(s.offered, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.max_cycles, 10);
+        assert_eq!(s.mean_queue_cycles, 5.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = tail_stats(&[completed(0, 0, 0, 42)]);
+        assert_eq!(s.p50_cycles, 42);
+        assert_eq!(s.p99_cycles, 42);
+        assert_eq!(s.p999_cycles, 42);
+    }
+}

@@ -16,14 +16,18 @@
 //! reproduces the nine lmbench latency rows of Tables 1–2; [`apps`]
 //! reproduces the five application benchmarks of Figs. 3–4 (OSDB-IR,
 //! dbench, kernel build, ping, Iperf); [`report`] renders paper-style
-//! tables and figure series.
+//! tables and figure series; [`mix`] defines the weighted request cost
+//! mixes the serving layer (`crates/servo`, DESIGN.md §13) replays as
+//! live traffic.
 
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod configs;
 pub mod lmbench;
+pub mod mix;
 pub mod report;
 
 pub use configs::{SysKind, TestBed, ALL_SYSTEMS};
 pub use lmbench::{run_lmbench, LmbenchResults};
+pub use mix::{CostMix, MixEntry, RequestShape};

@@ -1,0 +1,258 @@
+//! Request cost mixes for the serving layer.
+//!
+//! The serving experiments (DESIGN.md §13, `serving_tail`) judge mode
+//! switches by their effect on request tail latency, which only means
+//! something relative to a defined per-request cost.  A [`RequestShape`]
+//! is that definition: a bundle of user-mode compute plus kernel-visible
+//! operations (file appends, file reads, datagram echoes) whose cost the
+//! simulator charges on the simulated cycle clock — and whose kernel
+//! portion gets *more expensive in virtual mode*, exactly like the
+//! syscall rows of Tables 1–2.  A [`CostMix`] is a weighted set of
+//! shapes, so one arrival stream can model a realistic blend of cheap
+//! point reads and heavy scans.
+//!
+//! Shapes are pure data: the `servo` crate interprets them against a
+//! live kernel session.  Everything here is deterministic — picking
+//! from a mix consumes exactly one caller-supplied random draw.
+
+/// The kernel-visible work one request performs, in execution order:
+/// all compute first, then file appends, then file reads, then network
+/// echoes.  Costs are charged by the simulator when the serving layer
+/// replays the shape through a kernel session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestShape {
+    /// Stable shape name (reports, trace labels).
+    pub name: &'static str,
+    /// Pure user-mode compute, in simulated cycles (mode-independent).
+    pub compute_cycles: u64,
+    /// Sequential appends of [`RequestShape::io_bytes`] each to the
+    /// request's working file.
+    pub file_appends: u32,
+    /// Sequential reads of [`RequestShape::io_bytes`] each from the
+    /// start of the working file.
+    pub file_reads: u32,
+    /// Payload size per file operation, in bytes.
+    pub io_bytes: u32,
+    /// Datagram echo round trips (send + blocking receive).
+    pub net_echoes: u32,
+}
+
+/// One weighted entry of a [`CostMix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixEntry {
+    /// The request shape.
+    pub shape: RequestShape,
+    /// Relative weight (share of arrivals drawing this shape).
+    pub weight: u32,
+}
+
+/// A weighted blend of request shapes.
+///
+/// ```
+/// use mercury_workloads::mix::CostMix;
+///
+/// let mix = CostMix::web();
+/// // Picking is deterministic in the supplied draw.
+/// assert_eq!(mix.pick(7), mix.pick(7));
+/// assert!(mix.total_weight() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostMix {
+    /// Mix name (reports).
+    pub name: &'static str,
+    /// Weighted entries; weights need not sum to anything particular.
+    pub entries: Vec<MixEntry>,
+}
+
+impl CostMix {
+    /// Interactive web serving: dominated by cheap point reads, with a
+    /// thin tail of writes and template rendering.
+    pub fn web() -> CostMix {
+        CostMix {
+            name: "web",
+            entries: vec![
+                MixEntry {
+                    shape: RequestShape {
+                        name: "point-get",
+                        compute_cycles: 6_000,
+                        file_appends: 0,
+                        file_reads: 1,
+                        io_bytes: 256,
+                        net_echoes: 0,
+                    },
+                    weight: 80,
+                },
+                MixEntry {
+                    shape: RequestShape {
+                        name: "render",
+                        compute_cycles: 24_000,
+                        file_appends: 0,
+                        file_reads: 2,
+                        io_bytes: 512,
+                        net_echoes: 0,
+                    },
+                    weight: 15,
+                },
+                MixEntry {
+                    shape: RequestShape {
+                        name: "post",
+                        compute_cycles: 9_000,
+                        file_appends: 2,
+                        file_reads: 0,
+                        io_bytes: 512,
+                        net_echoes: 0,
+                    },
+                    weight: 5,
+                },
+            ],
+        }
+    }
+
+    /// Transactional storefront: balanced reads and writes plus a
+    /// fan-out call to a backing service (one datagram round trip).
+    pub fn oltp() -> CostMix {
+        CostMix {
+            name: "oltp",
+            entries: vec![
+                MixEntry {
+                    shape: RequestShape {
+                        name: "lookup",
+                        compute_cycles: 9_000,
+                        file_appends: 0,
+                        file_reads: 2,
+                        io_bytes: 512,
+                        net_echoes: 0,
+                    },
+                    weight: 55,
+                },
+                MixEntry {
+                    shape: RequestShape {
+                        name: "update",
+                        compute_cycles: 12_000,
+                        file_appends: 2,
+                        file_reads: 1,
+                        io_bytes: 512,
+                        net_echoes: 0,
+                    },
+                    weight: 35,
+                },
+                MixEntry {
+                    shape: RequestShape {
+                        name: "fanout",
+                        compute_cycles: 6_000,
+                        file_appends: 0,
+                        file_reads: 1,
+                        io_bytes: 256,
+                        net_echoes: 1,
+                    },
+                    weight: 10,
+                },
+            ],
+        }
+    }
+
+    /// Analytics side-traffic: rare but heavy scans over the working
+    /// file plus significant user-mode aggregation.
+    pub fn analytics() -> CostMix {
+        CostMix {
+            name: "analytics",
+            entries: vec![
+                MixEntry {
+                    shape: RequestShape {
+                        name: "probe",
+                        compute_cycles: 15_000,
+                        file_appends: 0,
+                        file_reads: 2,
+                        io_bytes: 1_024,
+                        net_echoes: 0,
+                    },
+                    weight: 70,
+                },
+                MixEntry {
+                    shape: RequestShape {
+                        name: "scan",
+                        compute_cycles: 90_000,
+                        file_appends: 0,
+                        file_reads: 8,
+                        io_bytes: 2_048,
+                        net_echoes: 0,
+                    },
+                    weight: 30,
+                },
+            ],
+        }
+    }
+
+    /// Sum of all entry weights (never zero for the built-in mixes).
+    pub fn total_weight(&self) -> u64 {
+        self.entries.iter().map(|e| e.weight as u64).sum()
+    }
+
+    /// Pick a shape by weight from one uniform random draw.  Uses the
+    /// widening-multiply reduction so one `u64` draw maps to one pick:
+    /// the caller's RNG stream advances by exactly one per request,
+    /// which is what keeps same-seed serving runs bit-identical.
+    pub fn pick(&self, draw: u64) -> &RequestShape {
+        let total = self.total_weight();
+        assert!(total > 0, "cost mix {} has no weight", self.name);
+        let mut roll = ((draw as u128 * total as u128) >> 64) as u64;
+        for e in &self.entries {
+            if roll < e.weight as u64 {
+                return &e.shape;
+            }
+            roll -= e.weight as u64;
+        }
+        &self.entries.last().expect("non-empty mix").shape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_mixes_are_well_formed() {
+        for mix in [CostMix::web(), CostMix::oltp(), CostMix::analytics()] {
+            assert!(!mix.entries.is_empty());
+            assert!(mix.total_weight() > 0);
+            for e in &mix.entries {
+                assert!(e.weight > 0, "{}: zero-weight entry", mix.name);
+                let s = &e.shape;
+                assert!(
+                    s.compute_cycles > 0
+                        || s.file_appends > 0
+                        || s.file_reads > 0
+                        || s.net_echoes > 0,
+                    "{}: shape {} does nothing",
+                    mix.name,
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pick_is_deterministic_and_covers_every_entry() {
+        let mix = CostMix::oltp();
+        let mut seen = std::collections::BTreeSet::new();
+        // A coarse sweep across the draw space must hit every entry of
+        // a 3-way mix and must be reproducible draw-for-draw.
+        for i in 0..64u64 {
+            let draw = i.wrapping_mul(0x2914_6935_55f1_d3a1);
+            assert_eq!(mix.pick(draw).name, mix.pick(draw).name);
+            seen.insert(mix.pick(draw).name);
+        }
+        assert_eq!(seen.len(), mix.entries.len());
+    }
+
+    #[test]
+    fn extreme_draws_stay_in_bounds() {
+        let mix = CostMix::web();
+        // Draw 0 lands on the first entry, u64::MAX on the last.
+        assert_eq!(mix.pick(0).name, mix.entries[0].shape.name);
+        assert_eq!(
+            mix.pick(u64::MAX).name,
+            mix.entries.last().unwrap().shape.name
+        );
+    }
+}

@@ -7,7 +7,14 @@
 use mercury::SwitchOutcome;
 use mercury_workloads::configs::{SysKind, TestBed};
 
+// Gated on the umbrella `trace` feature, not on `merctrace/enabled`
+// directly: the CI feature matrix builds `--features trace`, which is
+// precisely the configuration where probes being live is *intended*.
+#[cfg(not(feature = "trace"))]
 #[test]
+// The constancy of the asserted expression is the point: the test
+// pins which build configurations resolve `ENABLED` to false.
+#[allow(clippy::assertions_on_constants)]
 fn tracing_is_compiled_out_in_default_builds() {
     // Feature unification must not leak `merctrace/enabled` into the
     // root package's dependency graph (only mercury-bench turns it on,
@@ -15,6 +22,18 @@ fn tracing_is_compiled_out_in_default_builds() {
     assert!(
         !merctrace::ENABLED,
         "merctrace/enabled leaked into the default feature set"
+    );
+}
+
+/// The inverse gate for the feature matrix: asking for `trace` must
+/// actually light the probes up.
+#[cfg(feature = "trace")]
+#[test]
+#[allow(clippy::assertions_on_constants)]
+fn trace_feature_turns_probes_on() {
+    assert!(
+        merctrace::ENABLED,
+        "--features trace did not forward to merctrace/enabled"
     );
 }
 

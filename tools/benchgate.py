@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the archived switch benchmarks.
+
+Re-runs the two switch benchmarks (`mode_switch`, `switch_timeline`),
+loads the JSON they emit, and compares every metric against the copies
+archived at the repo root (`bench_results.json`'s "mode_switch" section
+and `switch_timeline.json`) within declared tolerance bands.  Prints a
+per-metric delta table and exits non-zero if any metric **regressed**
+(got slower beyond its band).  Improvements beyond the band are
+reported but do not fail the gate — they mean the archive should be
+refreshed, which is a deliberate human action, not a CI failure.
+
+Tolerance bands
+---------------
+The switch paths run entirely on the simulated cycle clock, so on a
+uniprocessor bed they are *simulation-deterministic*: identical on
+every host, every run.  Those metrics get a tight band (1%) that exists
+only to absorb float formatting.  The sharded-recompute metrics involve
+real host threads servicing rendezvous peers; the simulated makespan
+depends on host scheduling, so they get a wide band (50%) plus a floor
+on the speedup itself.
+
+Usage
+-----
+    python3 tools/benchgate.py            # cargo-run both benches, compare
+    python3 tools/benchgate.py --results DIR   # compare pre-generated JSONs
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# (archived-section-path, fresh-section-path, metric, rel_tol, abs_floor_us)
+# rel_tol is the allowed relative slowdown; abs_floor_us absorbs noise on
+# metrics whose absolute value is tiny (a 10% band on 0.02 µs is silly).
+MODE_SWITCH_CHECKS = [
+    (("recompute",), ("recompute_on_switch",), "attach_us", 0.01, 0.05),
+    (("recompute",), ("recompute_on_switch",), "detach_us", 0.01, 0.05),
+    (("dirty_recompute",), ("dirty_recompute",), "attach_us", 0.01, 0.05),
+    (("dirty_recompute",), ("dirty_recompute",), "cold_attach_us", 0.01, 0.05),
+    (("dirty_recompute",), ("dirty_recompute",), "warm_attach_us", 0.01, 0.05),
+    (("dirty_recompute",), ("dirty_recompute",), "detach_us", 0.01, 0.05),
+    # Host-thread-timing dependent: wide band.
+    (("sharded_recompute",), ("sharded_recompute",), "serial_pginfo_us", 0.01, 0.05),
+    (("sharded_recompute",), ("sharded_recompute",), "sharded_pginfo_us", 0.50, 1.0),
+]
+
+TIMELINE_PHASE_TOL = 0.01
+TIMELINE_PHASE_FLOOR = 0.05  # µs — phases like flip_tables sit at 0.02 µs
+
+
+def dig(obj, path):
+    for k in path:
+        obj = obj[k]
+    return obj
+
+
+def run_bench(binary, cwd):
+    cmd = [
+        "cargo",
+        "run",
+        "--release",
+        "--locked",
+        "-q",
+        "-p",
+        "mercury-bench",
+        "--bin",
+        binary,
+    ]
+    print(f"benchgate: running {binary} …", flush=True)
+    subprocess.run(cmd, cwd=cwd, check=True, env={**os.environ, "CARGO_TARGET_DIR": os.path.join(REPO, "target")})
+
+
+class Gate:
+    def __init__(self):
+        self.rows = []
+        self.regressions = []
+        self.improvements = []
+
+    def check(self, name, archived, fresh, rel_tol, abs_floor):
+        delta = fresh - archived
+        band = max(abs(archived) * rel_tol, abs_floor)
+        if delta > band:
+            status = "REGRESSED"
+            self.regressions.append(name)
+        elif delta < -band:
+            status = "improved"
+            self.improvements.append(name)
+        else:
+            status = "ok"
+        self.rows.append((name, archived, fresh, delta, band, status))
+
+    def report(self):
+        w = max(len(r[0]) for r in self.rows) if self.rows else 10
+        print(f"\n{'metric'.ljust(w)} | archived µs | fresh µs | delta µs | band µs | status")
+        print(f"{'-' * w}-|------------:|---------:|---------:|--------:|-------")
+        for name, a, f, d, band, status in self.rows:
+            print(
+                f"{name.ljust(w)} | {a:11.4f} | {f:8.4f} | {d:+8.4f} | {band:7.4f} | {status}"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--results",
+        metavar="DIR",
+        help="directory holding pre-generated mode_switch.json and "
+        "switch_timeline.json (skips the cargo runs)",
+    )
+    args = ap.parse_args()
+
+    with open(os.path.join(REPO, "bench_results.json")) as f:
+        archived_ms = json.load(f)["mode_switch"]
+    with open(os.path.join(REPO, "switch_timeline.json")) as f:
+        archived_tl = json.load(f)
+
+    if args.results:
+        outdir = args.results
+    else:
+        outdir = tempfile.mkdtemp(prefix="benchgate-")
+        run_bench("mode_switch", outdir)
+        run_bench("switch_timeline", outdir)
+
+    with open(os.path.join(outdir, "mode_switch.json")) as f:
+        fresh_ms = json.load(f)
+    with open(os.path.join(outdir, "switch_timeline.json")) as f:
+        fresh_tl = json.load(f)
+
+    gate = Gate()
+
+    for apath, fpath, metric, rel, floor in MODE_SWITCH_CHECKS:
+        name = f"mode_switch.{'.'.join(apath)}.{metric}"
+        gate.check(name, dig(archived_ms, apath)[metric], dig(fresh_ms, fpath)[metric], rel, floor)
+
+    # Sharded speedup: lower-bounded, not banded — any host should beat
+    # serial by a clear margin on a 4-CPU shard.
+    speedup = fresh_ms["sharded_recompute"]["speedup"]
+    if speedup < 1.5:
+        gate.rows.append(("mode_switch.sharded_recompute.speedup", 1.5, speedup, speedup - 1.5, 0.0, "REGRESSED"))
+        gate.regressions.append("mode_switch.sharded_recompute.speedup")
+    else:
+        gate.rows.append(("mode_switch.sharded_recompute.speedup", 1.5, speedup, speedup - 1.5, 0.0, "ok"))
+
+    for leg in ("attach", "detach"):
+        gate.check(
+            f"switch_timeline.{leg}.end_to_end_us",
+            archived_tl[leg]["end_to_end_us"],
+            fresh_tl[leg]["end_to_end_us"],
+            TIMELINE_PHASE_TOL,
+            TIMELINE_PHASE_FLOOR,
+        )
+        for phase, archived_us in archived_tl[leg]["phases_us"].items():
+            fresh_us = fresh_tl[leg]["phases_us"].get(phase)
+            if fresh_us is None:
+                gate.rows.append((f"switch_timeline.{leg}.{phase}", archived_us, float("nan"), float("nan"), 0.0, "REGRESSED"))
+                gate.regressions.append(f"switch_timeline.{leg}.{phase} (missing)")
+                continue
+            gate.check(
+                f"switch_timeline.{leg}.{phase}",
+                archived_us,
+                fresh_us,
+                TIMELINE_PHASE_TOL,
+                TIMELINE_PHASE_FLOOR,
+            )
+        for phase in fresh_tl[leg]["phases_us"].keys() - archived_tl[leg]["phases_us"].keys():
+            # A brand-new phase is information, not a regression.
+            gate.rows.append(
+                (f"switch_timeline.{leg}.{phase}", 0.0, fresh_tl[leg]["phases_us"][phase], 0.0, 0.0, "new phase")
+            )
+
+    gate.report()
+
+    if gate.improvements:
+        print(
+            f"\nbenchgate: {len(gate.improvements)} metric(s) improved beyond their band "
+            f"— consider refreshing the archived JSONs: {', '.join(gate.improvements)}"
+        )
+    if gate.regressions:
+        print(f"\nbenchgate: FAIL — {len(gate.regressions)} regression(s):", file=sys.stderr)
+        for r in gate.regressions:
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)
+    print("\nbenchgate: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ impl VoRefCount {
     /// Enter a sensitive section; the guard exits on drop.
     pub fn enter(self: &Arc<Self>) -> VoGuard {
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_enter();
         self.count.fetch_add(1, Ordering::AcqRel);
         VoGuard {
@@ -40,6 +41,7 @@ impl VoRefCount {
     pub fn current(&self) -> usize {
         let n = self.count.load(Ordering::Acquire);
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_observe();
         n
     }
@@ -71,6 +73,7 @@ pub struct VoGuard {
 impl Drop for VoGuard {
     fn drop(&mut self) {
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.counter.monitor.on_exit();
         self.counter.count.fetch_sub(1, Ordering::AcqRel);
     }

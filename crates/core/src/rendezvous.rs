@@ -168,6 +168,7 @@ impl Rendezvous {
             return Err(RendezvousError::Busy);
         }
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_begin();
         let epoch = epoch_of(self.ready.load(Ordering::Acquire)).wrapping_add(1);
         // Order matters: clear the flag first, then publish the new
@@ -185,9 +186,11 @@ impl Rendezvous {
     /// and releases them with [`Rendezvous::signal_go`].
     pub fn wait_ready(&self, peers: usize) -> Result<(), RendezvousError> {
         let deadline = Instant::now() + self.timeout;
+        // volint::bound(4096) — timeout-bounded spin (5 s hard abort); healthy-path budget: peers check in within microseconds
         while count_of(self.ready.load(Ordering::Acquire)) < peers {
             if Instant::now() > deadline {
                 #[cfg(feature = "dyncheck")]
+                // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
                 self.monitor.on_abort();
                 self.active.store(false, Ordering::Release);
                 return Err(RendezvousError::Timeout);
@@ -196,6 +199,7 @@ impl Rendezvous {
             std::thread::yield_now();
         }
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_wait_ready_ok(peers);
         Ok(())
     }
@@ -203,6 +207,7 @@ impl Rendezvous {
     /// CP side: raise the shared go flag.
     pub fn signal_go(&self) {
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_signal_go();
         self.go.store(true, Ordering::Release);
     }
@@ -218,9 +223,11 @@ impl Rendezvous {
     /// close the rendezvous.
     pub fn wait_done(&self, peers: usize) -> Result<(), RendezvousError> {
         let deadline = Instant::now() + self.timeout;
+        // volint::bound(4096) — timeout-bounded spin (5 s hard abort); healthy-path budget: peers complete within microseconds
         while count_of(self.done.load(Ordering::Acquire)) < peers {
             if Instant::now() > deadline {
                 #[cfg(feature = "dyncheck")]
+                // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
                 self.monitor.on_abort();
                 self.active.store(false, Ordering::Release);
                 return Err(RendezvousError::Timeout);
@@ -229,6 +236,7 @@ impl Rendezvous {
             std::thread::yield_now();
         }
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_wait_done_ok(peers);
         self.active.store(false, Ordering::Release);
         Ok(())
@@ -262,6 +270,7 @@ impl Rendezvous {
         if !self.in_progress() {
             return Err(RendezvousError::Stale);
         }
+        // volint::bound(64) — CAS retry loop; each retry means another peer won, so trips ≤ peer count
         loop {
             let cur = self.ready.load(Ordering::Acquire);
             if epoch_of(cur) != epoch {
@@ -276,8 +285,10 @@ impl Rendezvous {
             }
         }
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_check_in();
         let mut deadline = Instant::now() + self.timeout;
+        // volint::bound(4096) — timeout-bounded spin on the go flag (5 s hard abort)
         while !self.go.load(Ordering::Acquire) {
             if epoch_of(self.ready.load(Ordering::Acquire)) != epoch || !self.in_progress() {
                 // CP aborted (e.g. its own timeout) or the round was
@@ -295,6 +306,7 @@ impl Rendezvous {
             std::thread::yield_now();
         }
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_observed_go();
         Ok(())
     }
@@ -311,12 +323,14 @@ impl Rendezvous {
     /// (round aborted and superseded) is dropped, mirroring the
     /// check-in guard.
     pub fn complete_for(&self, epoch: u32) -> bool {
+        // volint::bound(64) — CAS retry loop; trips ≤ peer count
         loop {
             let cur = self.done.load(Ordering::Acquire);
             if epoch_of(cur) != epoch {
                 return false;
             }
             #[cfg(feature = "dyncheck")]
+            // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
             self.monitor.on_complete();
             if self
                 .done

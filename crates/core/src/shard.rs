@@ -65,6 +65,7 @@ impl<T> WorkQueue<T> {
             next: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             failed: AtomicBool::new(false),
+            // volint::allow(SWITCH-ALLOC): per-switch work-queue spend map, built once before the recompute fan-out
             spent: Mutex::new(BTreeMap::new()),
             #[cfg(feature = "dyncheck")]
             monitor: crate::dyncheck::WorkMonitor::default(),
@@ -96,10 +97,12 @@ impl<T> WorkQueue<T> {
     /// Report one claimed chunk finished, charging `cycles` of
     /// simulated work to worker `cpu`.
     pub fn complete_one(&self, cpu: u32, cycles: u64) {
+        // volint::allow(SWITCH-ALLOC, SWITCH-PANIC): std Mutex poisons only if a holder already panicked; entry map holds ≤ one slot per worker CPU
         *self.spent.lock().unwrap().entry(cpu).or_insert(0) += cycles;
         // Shadow publish before the real count bump: a CP that observes
         // the bump is guaranteed to join this completion's clock.
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_chunk_complete();
         self.completed.fetch_add(1, Ordering::AcqRel);
     }
@@ -128,6 +131,7 @@ impl<T> WorkQueue<T> {
     /// checks [`WorkQueue::failed`] for the outcome.
     pub fn wait_drained(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
+        // volint::bound(4096) — timeout-bounded drain spin; healthy-path budget while workers stream completions
         while !self.drained() {
             if Instant::now() > deadline {
                 return false;
@@ -136,6 +140,7 @@ impl<T> WorkQueue<T> {
             std::thread::yield_now();
         }
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.monitor.on_drained(self.completed.load(Ordering::Acquire));
         true
     }
@@ -146,6 +151,7 @@ impl<T> WorkQueue<T> {
     pub fn max_spent(&self) -> u64 {
         self.spent
             .lock()
+            // volint::allow(SWITCH-PANIC): std Mutex lock; poisoning implies a prior worker panic already aborted the switch
             .unwrap()
             .values()
             .copied()
@@ -155,6 +161,7 @@ impl<T> WorkQueue<T> {
 
     /// Cycles charged by worker `cpu` (0 if it never completed a chunk).
     pub fn spent_of(&self, cpu: u32) -> u64 {
+        // volint::allow(SWITCH-PANIC): std Mutex lock; poisoning implies a prior worker panic already aborted the switch
         self.spent.lock().unwrap().get(&cpu).copied().unwrap_or(0)
     }
 }

@@ -211,9 +211,11 @@ pub struct Mercury {
     /// [`Rendezvous::begin`] succeeds and cleared on *every* exit path,
     /// so a failed round can never leave a stale target for a later
     /// peer to reload into (the split-brain hazard of §5.4).
+    // volint::guarded_by(rendezvous) — peers may read it only from inside a rendezvous round
     rv_round: Mutex<Option<RvRound>>,
     /// Work queue of the sharded recompute, published while parked
     /// peers should pull chunks; `None` outside the work phase.
+    // volint::guarded_by(rendezvous) — published/cleared only while the CP owns the round
     shard_job: Mutex<Option<Arc<WorkQueue<ShardChunk>>>>,
     /// Whether the attach-time recompute is sharded across rendezvoused
     /// peers (default on; only takes effect when peers exist).
@@ -518,6 +520,7 @@ impl Mercury {
 
     // ---- handler paths ------------------------------------------------------
 
+    // volint::root(SWITCH, RENDEZVOUS)
     fn handle_switch(self: &Arc<Self>, cpu: &Arc<Cpu>, frame: &mut TrapFrame, target: ExecMode) {
         let result = self.try_switch(cpu, frame, target);
         if let Ok(SwitchOutcome::Completed { cycles }) = &result {
@@ -576,6 +579,7 @@ impl Mercury {
         // Dynamic invariant: every exit that let the count reach zero
         // must happen-before this decision point.
         #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
         self.refcount.assert_quiescent();
 
         let t0 = cpu.rdtsc();
@@ -672,8 +676,10 @@ impl Mercury {
 
         // Relocate the kernel's sensitive code: one pointer store.
         merctrace::span_begin!(cpu.id, "switch.vo_swap", cpu.cycles());
+        // volint::cost(256) — one pointer store plus the trace probes
         self.kernel.set_pv(match (self.assist, target) {
             (AssistMode::HardwareAssisted, ExecMode::Virtual) => {
+                // volint::allow(SWITCH-PANIC): hvm_vo is built at install time whenever assist is HardwareAssisted; checked invariant, not input
                 Arc::clone(self.hvm_vo.as_ref().expect("hvm VO built at install")) as Arc<dyn PvOps>
             }
             (_, ExecMode::Virtual) => Arc::clone(&self.virtual_vo) as Arc<dyn PvOps>,
@@ -687,6 +693,7 @@ impl Mercury {
         })
     }
 
+    // volint::root(SWITCH, RENDEZVOUS)
     fn handle_rendezvous_peer(self: &Arc<Self>, cpu: &Arc<Cpu>, frame: &mut TrapFrame) {
         // No round published — this is a stale interrupt left over from
         // an aborted rendezvous.  Nothing to join.
@@ -723,6 +730,7 @@ impl Mercury {
     /// table, and a CR3 reload to flush stale translations — or, with
     /// hardware assist, a VMCS load and non-root entry/exit.
     fn reload_cpu(&self, cpu: &Arc<Cpu>, target: ExecMode) {
+        // volint::cost(8192) — STATE_RELOAD + gate/GDT swap + CR3 reload, flat per-CPU work
         if self.assist == AssistMode::HardwareAssisted {
             cpu.tick(costs::VMCS_SWITCH);
             match target {
@@ -760,12 +768,15 @@ impl Mercury {
     fn flip_table_frames(&self, cpu: &Arc<Cpu>, to_readonly: bool) -> Result<(), SwitchError> {
         let kmap = self.kernel.kmap();
         let mem = &self.machine.mem;
+        // volint::bound(256) — kernel table frames: one L2 root plus L1 tables for a 64 MiB pool, ≤ 256 by construction
         for f in self.kernel.all_table_frames() {
+            // volint::cost(12) — per-frame PTE read + writability flip
             let Some((l1, idx)) = kmap.locate(f) else {
                 continue;
             };
             let pte = mem
                 .read_pte(cpu, l1, idx)
+                // volint::allow(SWITCH-ALLOC): map_err string materializes only on the failure path, after the transfer has already aborted
                 .map_err(|e| SwitchError::Transfer(e.to_string()))?;
             if !pte.present() {
                 continue;
@@ -776,6 +787,7 @@ impl Mercury {
                 pte.with_flags(Pte::WRITABLE)
             };
             mem.write_pte(cpu, l1, idx, new)
+                // volint::allow(SWITCH-ALLOC): map_err string materializes only on the failure path, after the transfer has already aborted
                 .map_err(|e| SwitchError::Transfer(e.to_string()))?;
         }
         Ok(())
@@ -785,6 +797,7 @@ impl Mercury {
     /// stack (the §5.1.2 stack stub), and charge the per-thread segment
     /// transfer.
     fn fix_selectors(&self, cpu: &Arc<Cpu>, dpl: PrivLevel) {
+        // volint::cost(4480) — ≤ 64 processes × THREAD_SEG_TRANSFER(70) selector rewrites
         self.kernel.fix_kstack_selectors(cpu, |ctx| {
             ctx.cs.rpl = dpl;
             ctx.ss.rpl = dpl;
@@ -800,6 +813,7 @@ impl Mercury {
                 // Reverse of attach_transfer, tolerating partial state.
                 self.hv.deactivate();
                 self.hv.page_info.clear_types_for(self.dom0.id);
+                // volint::allow(SWITCH-ALLOC): Vec::new is capacity 0 — no heap touch; rollback path besides
                 self.dom0.reset_pgds(Vec::new());
                 self.fix_selectors(cpu, PrivLevel::Pl0);
                 let _ = self.flip_table_frames(cpu, false);
@@ -845,10 +859,12 @@ impl Mercury {
         if peers > 0 && self.sharded.load(Ordering::Acquire) {
             self.sharded_recompute_phase(cpu, &pgds, owned)?;
         } else {
+            // volint::cost(1638400) — worst case serial scan: 16384 pool frames × PGINFO_RECOMPUTE_PER_FRAME(100)
             cpu.tick(self.pginfo_scan_cycles(owned));
             self.hv
                 .page_info
                 .recompute_for_at(cpu, &self.machine.mem, self.dom0.id, owned, &pgds, 0)
+                // volint::allow(SWITCH-ALLOC): map_err string materializes only on the failure path, after the transfer has already aborted
                 .map_err(|e| SwitchError::Transfer(e.to_string()))?;
         }
         self.stats
@@ -859,9 +875,11 @@ impl Mercury {
         // 4. Activate the pre-cached VMM and register the kernel's trap
         //    table with it (the VO-assistant step of §4.4).
         merctrace::span_begin!(cpu.id, "switch.transfer.trap_table", cpu.cycles());
+        // volint::cost(8192) — VMM activation flag flip + trap-table registration (≤ 32 gates)
         self.hv.activate();
         self.virtual_vo
             .load_trap_table(cpu, self.kernel.idt())
+            // volint::allow(SWITCH-ALLOC): map_err string materializes only on the failure path, after the transfer has already aborted
             .map_err(|e| SwitchError::Transfer(e.to_string()))?;
         merctrace::span_end!(cpu.id, "switch.transfer.trap_table", cpu.cycles());
         Ok(())
@@ -871,8 +889,10 @@ impl Mercury {
         // 1. The dormant VMM stops tracking: wipe its accounting (a
         //    per-frame release pass — the cheap direction of §7.4).
         merctrace::span_begin!(cpu.id, "switch.transfer.pginfo_clear", cpu.cycles());
+        // volint::cost(409600) — 16384 pool frames × PGINFO_CLEAR_PER_FRAME(25)
         cpu.tick(costs::PGINFO_CLEAR_PER_FRAME * self.kernel.pool_frames().len() as u64);
         self.hv.page_info.clear_types_for(self.dom0.id);
+        // volint::allow(SWITCH-ALLOC): Vec::new is capacity 0 — no heap touch
         self.dom0.reset_pgds(Vec::new());
         // Dirty-recompute baseline: the state just validated is the
         // snapshot; dirty tracking (re)starts from here.
@@ -928,14 +948,19 @@ impl Mercury {
         // Split the uniform scan into SHARD_CHUNK_FRAMES-sized slices
         // and append one validation chunk per base table.
         let n_scan = owned.div_ceil(SHARD_CHUNK_FRAMES).max(1);
+        // volint::allow(SWITCH-ALLOC): chunk list is built before any peer starts pulling; §5.4 accepts one allocation burst to set up the work queue
         let mut chunks = Vec::with_capacity(n_scan + pgds.len());
         let base = scan_total / n_scan as u64;
         let rem = scan_total % n_scan as u64;
+        // volint::bound(128) — n_scan ≤ 16384 frames / SHARD_CHUNK_FRAMES(256) = 64, plus one chunk per pgd
         for i in 0..n_scan as u64 {
+            // volint::allow(SWITCH-ALLOC): pushes into the pre-sized chunk list (capacity reserved above)
             chunks.push(ShardChunk::Scan(base + u64::from(i < rem)));
         }
+        // volint::allow(SWITCH-ALLOC): extends the pre-sized chunk list (capacity reserved above)
         chunks.extend(pgds.iter().map(|&p| ShardChunk::Pgd(p)));
 
+        // volint::allow(SWITCH-ALLOC): one Arc for the shared work queue, made before the peers are released
         let job = Arc::new(WorkQueue::new(chunks));
         merctrace::span_begin!(cpu.id, "switch.transfer.pginfo_shard", cpu.cycles());
         *self.shard_job.lock() = Some(Arc::clone(&job));
@@ -947,6 +972,7 @@ impl Mercury {
         // no matter how the host OS schedules the worker threads.
         let cap = self.shard_fair_share(&job);
         let mut served = 0usize;
+        // volint::bound(128) — CP fair share is capped at the chunk count, ≤ 128
         while served < cap && self.shard_exec_one(cpu, &job) {
             served += 1;
             std::thread::yield_now();

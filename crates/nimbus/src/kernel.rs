@@ -1738,8 +1738,11 @@ impl Kernel {
     /// transfer flips (§5.1.2 item 1).
     pub fn all_table_frames(&self) -> Vec<FrameNum> {
         let st = self.state.lock();
+        // volint::allow(SWITCH-ALLOC): table-frame enumeration buffer; built on the CP before the flip loop touches any PTE, §5.1.2 accepts it
         let mut v: Vec<FrameNum> = self.kmap.l1s.iter().map(|&(_, f)| f).collect();
+        // volint::bound(64) — one aspace per live process, capped by the process table
         for p in st.procs.values() {
+            // volint::allow(SWITCH-ALLOC): extends the same enumeration buffer
             v.extend(p.aspace.table_frames());
         }
         v.sort_unstable();
@@ -1750,6 +1753,7 @@ impl Kernel {
     /// All pinned base tables (every live process's pgd).
     pub fn all_pgds(&self) -> Vec<FrameNum> {
         let st = self.state.lock();
+        // volint::allow(SWITCH-ALLOC): pgd list, one entry per live process, built before the transfer mutates anything
         st.procs.values().map(|p| p.aspace.pgd).collect()
     }
 
@@ -1769,7 +1773,9 @@ impl Kernel {
     pub fn fix_kstack_selectors(&self, cpu: &Arc<Cpu>, f: impl Fn(&mut SavedTrapContext)) -> usize {
         let mut st = self.state.lock();
         let mut n = 0;
+        // volint::bound(64) — one kstack walk per live process
         for p in st.procs.values_mut() {
+            // volint::bound(8) — saved trap contexts per kernel stack, capped by nesting depth
             for ctx in p.kstack.iter_mut() {
                 cpu.tick(costs::STACK_SELECTOR_FIX);
                 f(ctx);

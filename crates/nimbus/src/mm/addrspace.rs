@@ -492,7 +492,9 @@ impl AddressSpace {
     /// All page-table frames of this space (pgd + user L1s) — what
     /// Mercury's state transfer flips between RO and RW (§5.1.2).
     pub fn table_frames(&self) -> Vec<FrameNum> {
+        // volint::allow(SWITCH-ALLOC): per-aspace table list (pgd + ≤ 16 user L1s), feeds the CP-side enumeration buffer
         let mut v = vec![self.pgd];
+        // volint::allow(SWITCH-ALLOC): extends the same per-aspace table list
         v.extend(self.user_l1s.iter().map(|(_, f)| *f));
         v
     }

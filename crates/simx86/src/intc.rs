@@ -49,6 +49,7 @@ impl InterruptController {
     /// Send an IPI to every CPU except the sender.
     #[doc(alias = "volint-privileged")]
     pub fn broadcast_ipi(&self, from: &Cpu, vector: u8) {
+        // volint::bound(64) — one IPI per CPU; the machine model tops out well below this
         for cpu in &self.cpus {
             if cpu.id != from.id {
                 from.tick(costs::IPI_SEND);

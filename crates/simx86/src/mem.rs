@@ -118,6 +118,7 @@ impl PhysMemory {
         cpu.tick(costs::MEM_WORD);
         let f = self.frame_ref(pa.frame())?;
         let mut guard = f.data.lock();
+        // volint::allow(SWITCH-PANIC): word_index() masks to the frame size; frame_ref already bounds-checked the frame
         let mut value = guard[pa.word_index()];
         // Fault injection (compiled out by default): a due mem-bit-flip
         // fault on this word XORs its mask in and the corrupted value is
@@ -125,6 +126,7 @@ impl PhysMemory {
         let flip = faultgen::mem_read_site!(cpu.id, cpu.cycles(), pa.frame().0, pa.word_index());
         if flip != 0 {
             value ^= flip;
+            // volint::allow(SWITCH-PANIC): same guard as the read above — index already validated
             guard[pa.word_index()] = value;
         }
         Ok(value)
@@ -134,6 +136,7 @@ impl PhysMemory {
     pub fn write_word(&self, cpu: &Cpu, pa: PhysAddr, value: u64) -> Result<(), Fault> {
         cpu.tick(costs::MEM_WORD);
         let f = self.frame_ref(pa.frame())?;
+        // volint::allow(SWITCH-PANIC): word_index() masks to the frame size; frame_ref already bounds-checked the frame
         f.data.lock()[pa.word_index()] = value;
         Ok(())
     }

@@ -92,6 +92,7 @@ impl Tlb {
 
     /// Drop a single page's translation (`invlpg`).
     pub fn invalidate(&mut self, vpn: u64) {
+        // volint::bound(64) — fixed-size TLB entry array
         for e in self.entries.iter_mut() {
             if matches!(e, Some(x) if x.vpn == vpn) {
                 *e = None;

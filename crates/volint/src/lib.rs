@@ -28,14 +28,24 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
+pub mod callgraph;
 pub mod lexer;
 pub mod markers;
+pub mod parse;
+pub mod pathrules;
+pub mod reach;
 pub mod rules;
 pub mod scan;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+/// The root kinds the reachability engine walks.  `SWITCH` tags the
+/// mode-switch entry points (and the xenon hypercall dispatch);
+/// `RENDEZVOUS` tags the paths that run inside a rendezvous round.
+pub const ROOT_KINDS: &[&str] = &["SWITCH", "RENDEZVOUS"];
 
 /// The invariant a diagnostic belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -51,6 +61,18 @@ pub enum Rule {
     /// Fault-injection hook used inside the switch critical section
     /// (DESIGN.md §12: injection must never perturb the switch itself).
     FaultMask,
+    /// Heap allocation reachable from a switch root (graph rule).
+    SwitchAlloc,
+    /// Panic path reachable from a switch root (graph rule).
+    SwitchPanic,
+    /// Loop reachable from a switch root with no static trip bound
+    /// (graph rule; bounds feed the static cycle budget).
+    SwitchLoopBound,
+    /// `guarded_by(..)` field touched outside its guard's reach set
+    /// (graph rule; static complement of dyncheck's vector clocks).
+    LockDiscipline,
+    /// `volint::allow(..)` waiver that no longer suppresses anything.
+    StaleWaiver,
 }
 
 impl Rule {
@@ -62,6 +84,11 @@ impl Rule {
             Rule::DispatchGap => "DISPATCH-GAP",
             Rule::AtomicOrder => "ATOMIC-ORDER",
             Rule::FaultMask => "FAULT-MASK",
+            Rule::SwitchAlloc => "SWITCH-ALLOC",
+            Rule::SwitchPanic => "SWITCH-PANIC",
+            Rule::SwitchLoopBound => "SWITCH-LOOP-BOUND",
+            Rule::LockDiscipline => "LOCK-DISCIPLINE",
+            Rule::StaleWaiver => "STALE-WAIVER",
         }
     }
 }
@@ -166,6 +193,9 @@ pub struct Config {
     /// Functions forming the mode-switch critical section; fault hooks
     /// must not appear in their bodies (FAULT-MASK).
     pub switch_critical: BTreeSet<String>,
+    /// Report stale waivers as errors instead of warnings (CI mode,
+    /// `--deny-stale-waivers`).
+    pub deny_stale_waivers: bool,
 }
 
 impl Config {
@@ -241,17 +271,162 @@ impl Config {
             blocking_calls: blocking.iter().map(|s| s.to_string()).collect(),
             fault_hooks: fault_hooks.iter().map(|s| s.to_string()).collect(),
             switch_critical: switch_critical.iter().map(|s| s.to_string()).collect(),
+            deny_stale_waivers: false,
+        }
+    }
+}
+
+/// Diagnostic collector that also tracks which waivers actually
+/// suppressed something, so unused waivers can be reported as
+/// [`Rule::StaleWaiver`].
+#[derive(Debug, Default)]
+pub struct Sink {
+    /// Collected diagnostics (unsorted; [`analyze_sources`] sorts).
+    pub diags: Vec<Diagnostic>,
+    /// Waivers that fired at least once: (file, waiver line).
+    pub used_waivers: BTreeSet<(String, usize)>,
+}
+
+impl Sink {
+    /// Fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an error-severity diagnostic, honoring (and accounting
+    /// for) any waiver on or directly above the line.
+    pub fn push(&mut self, f: &scan::FileFacts, rule: Rule, line: usize, message: String) {
+        if let Some(wl) = f.waiver_match(rule.as_str(), line) {
+            self.used_waivers.insert((f.name.clone(), wl));
+            return;
+        }
+        self.diags.push(Diagnostic {
+            file: f.name.clone(),
+            line,
+            rule,
+            severity: Severity::Error,
+            message,
+        });
+    }
+}
+
+/// Test-only source trees (integration tests, examples, benches) are
+/// exercised under `cfg(test)`-like conditions and are exempt from
+/// the production invariants.
+pub(crate) fn in_test_tree(name: &str) -> bool {
+    name.split('/')
+        .any(|c| c == "tests" || c == "examples" || c == "benches")
+}
+
+/// Type-ident wrappers skipped when mapping a struct field to the
+/// user type it holds (`shard_job: Mutex<Option<Arc<WorkQueue<..>>>>`
+/// maps to `WorkQueue`).
+const TYPE_WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Option", "Vec", "VecDeque", "Mutex", "RwLock", "RefCell", "Cell",
+    "BTreeMap", "BTreeSet", "HashMap", "HashSet", "Result",
+];
+
+/// Field name → declared user type, for receiver-by-field call
+/// resolution (`self.kernel.fix_kstack_selectors()` → `Kernel`).
+fn field_type_map(facts: &[scan::FileFacts]) -> BTreeMap<String, String> {
+    let mut m = BTreeMap::new();
+    for f in facts {
+        if in_test_tree(&f.name) {
+            continue;
+        }
+        for fd in &f.fields {
+            if fd.in_test {
+                continue;
+            }
+            if let Some(t) = fd.type_idents.iter().find(|t| {
+                t.starts_with(|c: char| c.is_ascii_uppercase())
+                    && !TYPE_WRAPPERS.contains(&t.as_str())
+            }) {
+                m.entry(fd.field_name.clone()).or_insert_with(|| t.clone());
+            }
+        }
+    }
+    m
+}
+
+/// Waivers that never fired become STALE-WAIVER diagnostics — warnings
+/// by default, errors under [`Config::deny_stale_waivers`].
+fn stale_waivers(facts: &[scan::FileFacts], cfg: &Config, sink: &mut Sink) {
+    for f in facts {
+        if in_test_tree(&f.name) {
+            continue; // rules skip test trees; their waivers can't fire
+        }
+        for (wl, rules) in &f.waivers {
+            if sink.used_waivers.contains(&(f.name.clone(), *wl)) {
+                continue;
+            }
+            sink.diags.push(Diagnostic {
+                file: f.name.clone(),
+                line: *wl,
+                rule: Rule::StaleWaiver,
+                severity: if cfg.deny_stale_waivers {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                },
+                message: format!(
+                    "waiver for {} suppresses no diagnostic; remove it or \
+                     re-justify it against the current rules",
+                    rules.join(", ")
+                ),
+            });
         }
     }
 }
 
 /// Analyze in-memory sources: `(logical path, contents)` pairs.
+///
+/// Runs both the line-level rules (PR 1) and the call-graph rules:
+/// parse → call graph → reachability → SWITCH-ALLOC / SWITCH-PANIC /
+/// SWITCH-LOOP-BOUND / LOCK-DISCIPLINE, then the stale-waiver sweep.
 pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
     let facts: Vec<_> = sources
         .iter()
         .map(|(name, src)| scan::scan_file(name, src))
         .collect();
-    rules::check(&facts, cfg)
+    let parsed: Vec<_> = sources
+        .iter()
+        .map(|(name, src)| parse::parse_file(name, src))
+        .collect();
+    let field_types = field_type_map(&facts);
+    let graph = callgraph::CallGraph::build(&parsed, &field_types);
+    let reach = reach::compute(&graph, &parsed, ROOT_KINDS);
+
+    let mut sink = Sink::new();
+    rules::check(&facts, cfg, &mut sink);
+    pathrules::check(&facts, &parsed, &graph, &reach, &field_types, &mut sink);
+    stale_waivers(&facts, cfg, &mut sink);
+
+    let mut out = sink.diags;
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    out
+}
+
+/// Compute the static switch-phase cycle budget for in-memory sources.
+pub fn budget_sources(sources: &[(String, String)]) -> budget::Budget {
+    let facts: Vec<_> = sources
+        .iter()
+        .map(|(name, src)| scan::scan_file(name, src))
+        .collect();
+    let parsed: Vec<_> = sources
+        .iter()
+        .map(|(name, src)| parse::parse_file(name, src))
+        .collect();
+    let field_types = field_type_map(&facts);
+    let graph = callgraph::CallGraph::build(&parsed, &field_types);
+    budget::compute(&graph, &parsed)
+}
+
+/// Compute the static switch-phase cycle budget for a workspace root.
+pub fn budget_workspace(root: &Path) -> std::io::Result<budget::Budget> {
+    Ok(budget_sources(&workspace_sources(root)?))
 }
 
 /// Walk a workspace root, analyze every `.rs` file, and return the
@@ -259,12 +434,26 @@ pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Diagno
 /// `#[doc(alias = "volint-privileged")]` marker found under
 /// `crates/simx86/`, so the hardware layer stays the source of truth.
 pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let sources = workspace_sources(root)?;
+    let mut cfg = cfg.clone();
+    for (name, src) in &sources {
+        if name.starts_with("crates/simx86/") {
+            for m in markers::scan(src) {
+                cfg.privileged.insert(m);
+            }
+        }
+    }
+    Ok(analyze_sources(&sources, &cfg))
+}
+
+/// Every `.rs` file under `root` as `(logical path, contents)`, in
+/// sorted path order.
+fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
 
     let mut sources = Vec::with_capacity(files.len());
-    let mut cfg = cfg.clone();
     for rel in files {
         let abs = root.join(&rel);
         let Ok(src) = std::fs::read_to_string(&abs) else {
@@ -273,14 +462,9 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Diagn
         let name = rel
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
-        if name.starts_with("crates/simx86/") {
-            for m in markers::scan(&src) {
-                cfg.privileged.insert(m);
-            }
-        }
         sources.push((name, src));
     }
-    Ok(analyze_sources(&sources, &cfg))
+    Ok(sources)
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,29 +1,45 @@
 //! `cargo run -p volint` — check the Mercury workspace invariants.
 //!
-//! Usage: `volint [--json] [ROOT]`
+//! Usage: `volint [--json] [--deny-stale-waivers] [--budget PATH] [ROOT]`
 //!
 //! `ROOT` defaults to the workspace root (two levels above this
 //! crate's manifest when built by cargo, else the current directory).
+//! `--deny-stale-waivers` turns unused `volint::allow(..)` comments
+//! into errors (the CI gate).  `--budget PATH` additionally emits the
+//! static switch-phase cycle budget (`volint_budget.json` shape) that
+//! `tools/benchgate.py` cross-checks against the measured timeline.
 //! Exits 0 when no errors were found, 1 on violations, 2 on I/O
 //! failure.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use volint::{analyze_workspace, Config, Severity};
+use volint::{analyze_workspace, budget_workspace, Config, Severity};
+
+const USAGE: &str = "usage: volint [--json] [--deny-stale-waivers] [--budget PATH] [ROOT]";
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut deny_stale = false;
+    let mut budget_path: Option<PathBuf> = None;
+    let mut want_budget_path = false;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
+        if want_budget_path {
+            budget_path = Some(PathBuf::from(&arg));
+            want_budget_path = false;
+            continue;
+        }
         match arg.as_str() {
             "--json" => json = true,
+            "--deny-stale-waivers" => deny_stale = true,
+            "--budget" => want_budget_path = true,
             "--help" | "-h" => {
-                println!("usage: volint [--json] [ROOT]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
                 eprintln!("volint: unknown option `{other}`");
-                eprintln!("usage: volint [--json] [ROOT]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
             other => {
@@ -38,9 +54,15 @@ fn main() -> ExitCode {
             }
         }
     }
+    if want_budget_path {
+        eprintln!("volint: --budget requires a PATH argument");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
     let root = root.unwrap_or_else(default_root);
 
-    let cfg = Config::mercury_defaults();
+    let mut cfg = Config::mercury_defaults();
+    cfg.deny_stale_waivers = deny_stale;
     let diags = match analyze_workspace(&root, &cfg) {
         Ok(d) => d,
         Err(e) => {
@@ -59,6 +81,27 @@ fn main() -> ExitCode {
     } else {
         for d in &diags {
             println!("{d}");
+        }
+    }
+
+    if let Some(path) = &budget_path {
+        let budget = match budget_workspace(&root) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("volint: cannot compute budget for {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, budget.to_json()) {
+            eprintln!("volint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !json {
+            println!(
+                "volint: wrote static budget for {} phase(s) to {}",
+                budget.phases.len(),
+                path.display()
+            );
         }
     }
 

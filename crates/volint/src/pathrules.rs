@@ -1,0 +1,272 @@
+//! The call-graph-powered switch-path rules.
+//!
+//! All four rules consume the [`reach`](crate::reach) sets computed
+//! from `// volint::root(..)` markers:
+//!
+//! * **SWITCH-ALLOC** — no heap allocation (`Box`/`Vec`/`String`
+//!   constructors, collection growth methods, `vec!`/`format!`)
+//!   reachable from a switch root.  The mode switch runs under the
+//!   refcount gate with peers spinning in rendezvous; an allocator
+//!   call there is unbounded latency and a potential fault point
+//!   (paper §5.1: the switch must be short and predictable).
+//! * **SWITCH-PANIC** — no `unwrap`/`expect`, panicking macro, or
+//!   unchecked slice index reachable from a switch root.  A panic
+//!   mid-transfer strands every peer CPU in the rendezvous.
+//! * **SWITCH-LOOP-BOUND** — every loop reachable from a root either
+//!   iterates something statically sized (`0..64`, `0..CONST`,
+//!   `.take(N)`) or carries a `// volint::bound(N)` marker.  The
+//!   bounds double as inputs to the static cycle budget
+//!   ([`budget`](crate::budget)).
+//! * **LOCK-DISCIPLINE** — fields tagged `// volint::guarded_by(
+//!   rendezvous)` may only be touched from functions reachable under
+//!   a `RENDEZVOUS` root: the static complement to dyncheck's runtime
+//!   vector clocks.
+
+use crate::callgraph::CallGraph;
+use crate::parse::{FnBody, ParsedFile};
+use crate::reach::Reachability;
+use crate::scan::FileFacts;
+use crate::{Rule, Sink};
+use std::collections::BTreeMap;
+
+/// Allocating constructors by type.
+const ALLOC_CTORS: &[(&str, &[&str])] = &[
+    ("Box", &["new"]),
+    ("Rc", &["new"]),
+    ("Arc", &["new"]),
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("String", &["new", "from", "with_capacity"]),
+    ("BTreeMap", &["new"]),
+    ("BTreeSet", &["new"]),
+    ("HashMap", &["new", "with_capacity"]),
+    ("HashSet", &["new", "with_capacity"]),
+    ("VecDeque", &["new", "with_capacity"]),
+];
+
+/// Methods that (re)allocate on their receiver.
+const GROWTH_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "append",
+    "reserve",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "collect",
+    "or_insert",
+    "or_insert_with",
+    "or_default",
+];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Panicking method calls.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Panicking macros (`debug_assert*` compiles out of release switch
+/// paths and is deliberately absent).
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Run the four graph rules.  `facts` and `parsed` are index-aligned
+/// views of the same sources.
+pub fn check(
+    facts: &[FileFacts],
+    parsed: &[ParsedFile],
+    graph: &CallGraph,
+    reach: &Reachability,
+    field_types: &BTreeMap<String, String>,
+    sink: &mut Sink,
+) {
+    let guarded = guarded_fields(facts, parsed);
+
+    for gid in 0..graph.fn_file.len() {
+        let file_idx = graph.fn_file[gid];
+        let pf = &parsed[file_idx];
+        let f = &facts[file_idx];
+        let body = graph.body(parsed, gid);
+        if body.in_test || crate::in_test_tree(&pf.name) {
+            continue;
+        }
+
+        if let Some((kind, set)) = reach.explain(gid) {
+            let chain = set.chain(graph, parsed, gid);
+            switch_alloc(f, body, kind, &chain, sink);
+            switch_panic(f, body, kind, &chain, sink);
+            loop_bound(f, body, graph, kind, &chain, sink);
+        }
+
+        lock_discipline(f, body, gid, reach, &guarded, field_types, sink);
+    }
+}
+
+fn switch_alloc(f: &FileFacts, body: &FnBody, kind: &str, chain: &str, sink: &mut Sink) {
+    for c in &body.calls {
+        let what = if c.is_macro {
+            if ALLOC_MACROS.contains(&c.name.as_str()) {
+                Some(format!("`{}!`", c.name))
+            } else {
+                None
+            }
+        } else if c.via_dot && GROWTH_METHODS.contains(&c.name.as_str()) {
+            Some(format!("`.{}()`", c.name))
+        } else if !c.via_dot {
+            c.qualifier.as_deref().and_then(|q| {
+                ALLOC_CTORS
+                    .iter()
+                    .find(|(t, ms)| *t == q && ms.contains(&c.name.as_str()))
+                    .map(|_| format!("`{q}::{}`", c.name))
+            })
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            sink.push(
+                f,
+                Rule::SwitchAlloc,
+                c.line,
+                format!(
+                    "{what} allocates on the {kind} path ({chain}); the \
+                     switch critical section must not enter the allocator"
+                ),
+            );
+        }
+    }
+}
+
+fn switch_panic(f: &FileFacts, body: &FnBody, kind: &str, chain: &str, sink: &mut Sink) {
+    for c in &body.calls {
+        let what = if c.is_macro {
+            if PANIC_MACROS.contains(&c.name.as_str()) {
+                Some(format!("`{}!`", c.name))
+            } else {
+                None
+            }
+        } else if c.via_dot && PANIC_METHODS.contains(&c.name.as_str()) {
+            Some(format!("`.{}()`", c.name))
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            sink.push(
+                f,
+                Rule::SwitchPanic,
+                c.line,
+                format!(
+                    "{what} can panic on the {kind} path ({chain}); a panic \
+                     mid-transfer strands every rendezvous peer"
+                ),
+            );
+        }
+    }
+    for &line in &body.index_sites {
+        sink.push(
+            f,
+            Rule::SwitchPanic,
+            line,
+            format!(
+                "unchecked index can panic on the {kind} path ({chain}); \
+                 use `.get()` or waive with a bounds argument"
+            ),
+        );
+    }
+}
+
+fn loop_bound(
+    f: &FileFacts,
+    body: &FnBody,
+    graph: &CallGraph,
+    kind: &str,
+    chain: &str,
+    sink: &mut Sink,
+) {
+    for l in &body.loops {
+        if l.resolved_bound(&graph.consts).is_none() {
+            sink.push(
+                f,
+                Rule::SwitchLoopBound,
+                l.line,
+                format!(
+                    "loop on the {kind} path ({chain}) has no static trip \
+                     bound; annotate `// volint::bound(N)` so the cycle \
+                     budget stays finite"
+                ),
+            );
+        }
+    }
+}
+
+/// `(struct, field, guard-root-kind)` triples from joining the item
+/// scanner's field table with `// volint::guarded_by(..)` markers.
+fn guarded_fields(facts: &[FileFacts], parsed: &[ParsedFile]) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    for (f, pf) in facts.iter().zip(parsed) {
+        for (gl, guard) in &pf.guards {
+            for fd in &f.fields {
+                if fd.line == *gl || fd.line == *gl + 1 {
+                    out.push((
+                        fd.struct_name.clone(),
+                        fd.field_name.clone(),
+                        guard.to_ascii_uppercase(),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn lock_discipline(
+    f: &FileFacts,
+    body: &FnBody,
+    gid: usize,
+    reach: &Reachability,
+    guarded: &[(String, String, String)],
+    field_types: &BTreeMap<String, String>,
+    sink: &mut Sink,
+) {
+    for fa in &body.field_accesses {
+        for (owner, field, guard_kind) in guarded {
+            if fa.name != *field {
+                continue;
+            }
+            // Attribute the access to the owning struct: `self.field`
+            // inside the owner's impl, or a receiver whose declared
+            // field type is the owner.
+            let owned = match fa.qualifier.as_deref() {
+                Some("self") => body.impl_type.as_deref() == Some(owner.as_str()),
+                Some(q) => field_types.get(q).map(String::as_str) == Some(owner.as_str()),
+                None => false,
+            };
+            if !owned {
+                continue;
+            }
+            if !reach.under(guard_kind, gid) {
+                sink.push(
+                    f,
+                    Rule::LockDiscipline,
+                    fa.line,
+                    format!(
+                        "field `{owner}.{field}` is `guarded_by({})` but \
+                         `{}` is not reachable from any {guard_kind} root; \
+                         accessing it outside the protocol races the \
+                         rendezvous round",
+                        guard_kind.to_ascii_lowercase(),
+                        body.name
+                    ),
+                );
+            }
+        }
+    }
+}

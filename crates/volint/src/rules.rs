@@ -22,55 +22,25 @@
 //!   surface, never the attach/detach machinery itself, or a campaign
 //!   could wedge the very mechanism meant to answer it).
 
+use crate::in_test_tree;
 use crate::scan::{FileFacts, LetBinding};
-use crate::{Config, Diagnostic, Rule, Severity};
+use crate::{Config, Rule, Sink};
 use std::collections::BTreeSet;
 
-/// Run every rule over the scanned files.
-pub fn check(files: &[FileFacts], cfg: &Config) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
+/// Run every line-level rule over the scanned files.
+pub fn check(files: &[FileFacts], cfg: &Config, sink: &mut Sink) {
     for f in files {
-        vo_bypass(f, cfg, &mut out);
-        refcount_leak(f, cfg, &mut out);
-        atomic_order(f, &mut out);
-        fault_mask(f, cfg, &mut out);
+        vo_bypass(f, cfg, sink);
+        refcount_leak(f, cfg, sink);
+        atomic_order(f, sink);
+        fault_mask(f, cfg, sink);
     }
-    dispatch_gap(files, cfg, &mut out);
-    out.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
-    });
-    out
-}
-
-/// Test-only source trees (integration tests, examples, benches) are
-/// exercised under `cfg(test)`-like conditions and may poke hardware.
-fn in_test_tree(name: &str) -> bool {
-    name.split('/')
-        .any(|c| c == "tests" || c == "examples" || c == "benches")
-}
-
-fn push(
-    out: &mut Vec<Diagnostic>,
-    f: &FileFacts,
-    rule: Rule,
-    line: usize,
-    message: String,
-) {
-    if f.is_waived(rule.as_str(), line) {
-        return;
-    }
-    out.push(Diagnostic {
-        file: f.name.clone(),
-        line,
-        rule,
-        severity: Severity::Error,
-        message,
-    });
+    dispatch_gap(files, cfg, sink);
 }
 
 // ---------------------------------------------------------------- VO-BYPASS
 
-fn vo_bypass(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
+fn vo_bypass(f: &FileFacts, cfg: &Config, sink: &mut Sink) {
     if in_test_tree(&f.name)
         || cfg
             .allow_paths
@@ -96,9 +66,7 @@ fn vo_bypass(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
         {
             continue;
         }
-        push(
-            out,
-            f,
+        sink.push(f,
             Rule::VoBypass,
             c.line,
             format!(
@@ -116,7 +84,7 @@ fn is_guard(l: &LetBinding) -> bool {
     l.init_has_enter || l.type_has_voguard
 }
 
-fn refcount_leak(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
+fn refcount_leak(f: &FileFacts, cfg: &Config, sink: &mut Sink) {
     if in_test_tree(&f.name) {
         return;
     }
@@ -129,9 +97,7 @@ fn refcount_leak(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
             continue;
         }
         if l.name == "_" {
-            push(
-                out,
-                f,
+            sink.push(f,
                 Rule::RefcountLeak,
                 l.line,
                 "`let _ = ..enter(..)` drops the VO guard immediately; \
@@ -158,9 +124,7 @@ fn refcount_leak(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
                 is_guard(l) && l.fn_idx == c.fn_idx && c.args.contains(&l.name)
             });
         if guard_arg {
-            push(
-                out,
-                f,
+            sink.push(f,
                 Rule::RefcountLeak,
                 c.line,
                 format!(
@@ -179,9 +143,7 @@ fn refcount_leak(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
             continue;
         }
         if fd.type_idents.iter().any(|t| t == "VoGuard") {
-            push(
-                out,
-                f,
+            sink.push(f,
                 Rule::RefcountLeak,
                 fd.line,
                 format!(
@@ -205,9 +167,7 @@ fn refcount_leak(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
                 continue;
             }
             if cfg.blocking_calls.contains(&c.name) {
-                push(
-                    out,
-                    f,
+                sink.push(f,
                     Rule::RefcountLeak,
                     c.line,
                     format!(
@@ -225,7 +185,7 @@ fn refcount_leak(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
 
 // ------------------------------------------------------------- ATOMIC-ORDER
 
-fn atomic_order(f: &FileFacts, out: &mut Vec<Diagnostic>) {
+fn atomic_order(f: &FileFacts, sink: &mut Sink) {
     let basename = f.name.rsplit('/').next().unwrap_or(&f.name);
     let protocol = f.defines_struct("Rendezvous")
         || f.defines_struct("VoRefCount")
@@ -247,13 +207,13 @@ fn atomic_order(f: &FileFacts, out: &mut Vec<Diagnostic>) {
          need acquire/release to see fully published records"
     };
     for (line, _) in &f.relaxed {
-        push(out, f, Rule::AtomicOrder, *line, what.to_string());
+        sink.push(f, Rule::AtomicOrder, *line, what.to_string());
     }
 }
 
 // --------------------------------------------------------------- FAULT-MASK
 
-fn fault_mask(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
+fn fault_mask(f: &FileFacts, cfg: &Config, sink: &mut Sink) {
     if in_test_tree(&f.name) {
         return;
     }
@@ -268,9 +228,7 @@ fn fault_mask(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
             .map(String::as_str)
             .collect();
         if !used.is_empty() {
-            push(
-                out,
-                f,
+            sink.push(f,
                 Rule::FaultMask,
                 func.line,
                 format!(
@@ -288,7 +246,7 @@ fn fault_mask(f: &FileFacts, cfg: &Config, out: &mut Vec<Diagnostic>) {
 
 // ------------------------------------------------------------- DISPATCH-GAP
 
-fn dispatch_gap(files: &[FileFacts], cfg: &Config, out: &mut Vec<Diagnostic>) {
+fn dispatch_gap(files: &[FileFacts], cfg: &Config, sink: &mut Sink) {
     // 1. Every required PvOps method implemented by every VO.
     let required: Vec<&str> = files
         .iter()
@@ -312,9 +270,7 @@ fn dispatch_gap(files: &[FileFacts], cfg: &Config, out: &mut Vec<Diagnostic>) {
                     .copied()
                     .collect();
                 if !missing.is_empty() {
-                    push(
-                        out,
-                        f,
+                    sink.push(f,
                         Rule::DispatchGap,
                         imp.line,
                         format!(
@@ -344,9 +300,7 @@ fn dispatch_gap(files: &[FileFacts], cfg: &Config, out: &mut Vec<Diagnostic>) {
                             .find(|m| m.trait_name == cfg.pvops_trait)
                             .map(|m| (f, m.line))
                     }) {
-                        push(
-                            out,
-                            f,
+                        sink.push(f,
                             Rule::DispatchGap,
                             line,
                             format!(
@@ -380,9 +334,7 @@ fn dispatch_gap(files: &[FileFacts], cfg: &Config, out: &mut Vec<Diagnostic>) {
                 && fd.type_idents.iter().any(|t| t.starts_with("Atomic"))
                 && !begin.idents.contains(&fd.field_name)
             {
-                push(
-                    out,
-                    f,
+                sink.push(f,
                     Rule::DispatchGap,
                     fd.line,
                     format!(
@@ -419,9 +371,7 @@ fn dispatch_gap(files: &[FileFacts], cfg: &Config, out: &mut Vec<Diagnostic>) {
                     .copied()
                     .collect();
                 if !missing.is_empty() {
-                    push(
-                        out,
-                        f,
+                    sink.push(f,
                         Rule::DispatchGap,
                         func.line,
                         format!(

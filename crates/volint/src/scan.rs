@@ -154,9 +154,19 @@ impl FileFacts {
     /// Is `rule` waived for a diagnostic on `line` (waiver on the same
     /// line or the line directly above)?
     pub fn is_waived(&self, rule: &str, line: usize) -> bool {
-        self.waivers.iter().any(|(wl, rules)| {
-            (*wl == line || *wl + 1 == line) && rules.iter().any(|r| r == rule || r == "*")
-        })
+        self.waiver_match(rule, line).is_some()
+    }
+
+    /// The line of the waiver covering (`rule`, `line`), if any — used
+    /// to track which waivers actually fire (stale-waiver detection).
+    pub fn waiver_match(&self, rule: &str, line: usize) -> Option<usize> {
+        self.waivers
+            .iter()
+            .find(|(wl, rules)| {
+                (*wl == line || *wl + 1 == line)
+                    && rules.iter().any(|r| r == rule || r == "*")
+            })
+            .map(|(wl, _)| *wl)
     }
 }
 
@@ -209,11 +219,15 @@ pub fn scan_file(name: &str, src: &str) -> FileFacts {
 }
 
 /// Pull `volint::allow(RULE, ...)` waivers out of the raw source (they
-/// live in comments, which the lexer strips).
+/// live in comments, which the lexer strips).  Only genuine `// volint::`
+/// comments count — doc-comment examples and string literals don't
+/// (see [`crate::parse::marker_comment`]).
 fn collect_waivers(src: &str, facts: &mut FileFacts) {
     for (i, line) in src.lines().enumerate() {
-        if let Some(pos) = line.find("volint::allow(") {
-            let rest = &line[pos + "volint::allow(".len()..];
+        if let Some(text) = crate::parse::marker_comment(line) {
+            let Some(rest) = text.strip_prefix("volint::allow(") else {
+                continue;
+            };
             if let Some(end) = rest.find(')') {
                 let rules: Vec<String> = rest[..end]
                     .split(',')

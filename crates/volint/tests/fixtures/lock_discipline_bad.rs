@@ -1,0 +1,20 @@
+//! Fixture: a field marked `volint::guarded_by(rendezvous)` may only
+//! be touched by fns reachable from a RENDEZVOUS root.
+
+pub struct Coordinator {
+    // volint::guarded_by(rendezvous)
+    round: Mutex<Option<u32>>,
+}
+
+impl Coordinator {
+    // volint::root(RENDEZVOUS)
+    pub fn handle_rendezvous_peer(&self) {
+        let cur = self.round.lock();
+        drop(cur);
+    }
+
+    // Not on any RENDEZVOUS path: this access violates the guard.
+    pub fn sneaky_reset(&self) {
+        *self.round.lock() = None; //~ LOCK-DISCIPLINE
+    }
+}

@@ -1,0 +1,37 @@
+//! Fixture: loops on the switch path need a static trip count — a
+//! numeric range, a `0..CONST` range over a workspace const, a
+//! `.take(N)`, or an explicit `// volint::bound(N)` marker.
+
+const LANES: u64 = 16;
+
+pub struct Pump;
+
+impl Pump {
+    // volint::root(SWITCH)
+    pub fn handle_switch(&self, n: usize) {
+        self.drain(n);
+    }
+
+    fn drain(&self, n: usize) {
+        for _ in 0..n { //~ SWITCH-LOOP-BOUND
+            std::hint::spin_loop();
+        }
+        let mut left = n;
+        while left > 0 { //~ SWITCH-LOOP-BOUND
+            left -= 1;
+        }
+        // Static bound via a workspace const: clean.
+        for _ in 0..LANES {
+            std::hint::spin_loop();
+        }
+        // Explicit marker bound: clean.
+        // volint::bound(8) — retries capped by the protocol
+        loop {
+            break;
+        }
+        // Literal numeric range: clean.
+        for _ in 0..4 {
+            std::hint::spin_loop();
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a `volint::allow(..)` that suppresses a real diagnostic is
+//! consumed silently; one that suppresses nothing is reported stale.
+
+pub struct Relay;
+
+impl Relay {
+    // volint::root(SWITCH)
+    pub fn handle_switch(&self, v: Option<u32>) {
+        // volint::allow(SWITCH-PANIC): validated by the dispatcher before the trap is raised
+        let _ = v.unwrap();
+    }
+
+    // volint::allow(SWITCH-ALLOC): nothing below allocates any more //~ STALE-WAIVER
+    pub fn idle(&self) {}
+}

@@ -1,0 +1,37 @@
+//! Fixture: allocations reachable from a `volint::root(SWITCH)` fn
+//! must be flagged — including through a field-typed helper — while
+//! identical allocations in code the root cannot reach stay silent.
+
+pub struct Mercury {
+    depot: Depot,
+}
+
+pub struct Depot;
+
+impl Depot {
+    pub fn refill(&self) {
+        let mut v = Vec::new(); //~ SWITCH-ALLOC
+        v.push(1u32); //~ SWITCH-ALLOC
+    }
+}
+
+impl Mercury {
+    // volint::root(SWITCH)
+    pub fn handle_switch(&self) {
+        self.transfer();
+    }
+
+    fn transfer(&self) {
+        self.depot.refill();
+        let s = format!("mode={}", 1); //~ SWITCH-ALLOC
+        drop(s);
+    }
+
+    // Never called from the root: the same allocator idioms must NOT
+    // produce diagnostics here (reachability, not pattern matching).
+    pub fn maintenance(&self) {
+        let mut log = Vec::with_capacity(8);
+        log.push(0u8);
+        let _tag = String::from("offline");
+    }
+}

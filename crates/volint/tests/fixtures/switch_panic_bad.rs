@@ -1,0 +1,29 @@
+//! Fixture: panic sources (unwrap/expect, unchecked indexing, panic
+//! macros) on the switch path are flagged; the same idioms in
+//! unreachable code are not.
+
+pub struct Gate {
+    slots: [u32; 4],
+}
+
+impl Gate {
+    // volint::root(SWITCH)
+    pub fn handle_switch(&self, i: usize) {
+        self.commit(i);
+    }
+
+    fn commit(&self, i: usize) {
+        let v = self.slots.first().unwrap(); //~ SWITCH-PANIC
+        let w = self.slots[i]; //~ SWITCH-PANIC
+        if *v > w {
+            panic!("inverted gate order"); //~ SWITCH-PANIC
+        }
+    }
+
+    // Unreachable from the root: unwrap/index tolerated here.
+    pub fn offline_check(&self) {
+        let last = self.slots[3];
+        let first = self.slots.first().unwrap();
+        assert!(first <= &last);
+    }
+}

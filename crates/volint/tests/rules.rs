@@ -157,3 +157,293 @@ fn simx86_markers_are_discovered() {
         );
     }
 }
+
+// ---------------------------------------------------------------
+// v2: call-graph rules (reachability from `volint::root` markers)
+// ---------------------------------------------------------------
+
+#[test]
+fn switch_alloc_fixture() {
+    let src = include_str!("fixtures/switch_alloc_bad.rs");
+    assert!(expectations(src).iter().any(|(_, r)| r == "SWITCH-ALLOC"));
+    check_fixture("switch_alloc_bad.rs", src);
+}
+
+#[test]
+fn switch_panic_fixture() {
+    let src = include_str!("fixtures/switch_panic_bad.rs");
+    assert!(expectations(src).iter().any(|(_, r)| r == "SWITCH-PANIC"));
+    check_fixture("switch_panic_bad.rs", src);
+}
+
+#[test]
+fn loop_bound_fixture() {
+    let src = include_str!("fixtures/loop_bound_bad.rs");
+    assert!(expectations(src)
+        .iter()
+        .any(|(_, r)| r == "SWITCH-LOOP-BOUND"));
+    check_fixture("loop_bound_bad.rs", src);
+}
+
+#[test]
+fn lock_discipline_fixture() {
+    let src = include_str!("fixtures/lock_discipline_bad.rs");
+    assert!(expectations(src)
+        .iter()
+        .any(|(_, r)| r == "LOCK-DISCIPLINE"));
+    check_fixture("lock_discipline_bad.rs", src);
+}
+
+#[test]
+fn stale_waiver_fixture() {
+    let src = include_str!("fixtures/stale_waiver_bad.rs");
+    assert!(expectations(src).iter().any(|(_, r)| r == "STALE-WAIVER"));
+    check_fixture("stale_waiver_bad.rs", src);
+}
+
+/// `--deny-stale-waivers` turns the advisory into a build-breaking
+/// error; the *used* waiver in the same fixture must stay silent.
+#[test]
+fn stale_waiver_escalates_under_deny() {
+    let mut cfg = Config::mercury_defaults();
+    cfg.deny_stale_waivers = true;
+    let src = include_str!("fixtures/stale_waiver_bad.rs");
+    let diags = analyze_sources(
+        &[("fixture://stale_waiver_bad.rs".to_string(), src.to_string())],
+        &cfg,
+    );
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule.as_str(), "STALE-WAIVER");
+    assert_eq!(diags[0].severity, Severity::Error);
+}
+
+// ---------------------------------------------------------------
+// v2: call-graph resolution coverage
+// ---------------------------------------------------------------
+
+/// Trait-object dispatch: the receiver field is typed `dyn Trait`, the
+/// method lives on the concrete impl.  Resolution goes field-type →
+/// (no trait methods recorded, signatures have no body) → unique-name
+/// tier, landing on the impl — whose allocations are then on-path.
+#[test]
+fn callgraph_resolves_trait_object_calls() {
+    let src = r#"
+pub trait PvOps {
+    fn commit_shadow(&self);
+}
+
+pub struct RealOps;
+
+impl PvOps for RealOps {
+    fn commit_shadow(&self) {
+        let mut scratch = Vec::new(); //~ SWITCH-ALLOC
+        scratch.push(0u8); //~ SWITCH-ALLOC
+    }
+}
+
+pub struct Monitor {
+    ops: Box<dyn PvOps>,
+}
+
+impl Monitor {
+    // volint::root(SWITCH)
+    pub fn handle_switch(&self) {
+        self.ops.commit_shadow();
+    }
+}
+"#;
+    check_fixture("trait_object.rs", src);
+}
+
+/// Macro invocations are not call edges, and `macro_rules!` bodies do
+/// not define resolvable fns: neither the fn named in the macro args
+/// nor the macro-generated handler welds its allocations onto the
+/// switch path.
+#[test]
+fn callgraph_macros_do_not_create_edges() {
+    let src = r#"
+pub fn expensive_rebuild() {
+    let mut v = Vec::new();
+    v.push(1u32);
+}
+
+macro_rules! mk_handler {
+    ($name:ident) => {
+        pub fn $name() {
+            let mut buf = Vec::with_capacity(64);
+            buf.push(0u8);
+        }
+    };
+}
+
+mk_handler!(gen_handler);
+
+pub struct Ctl;
+
+impl Ctl {
+    // volint::root(SWITCH)
+    pub fn handle_switch(&self) {
+        deferred!(expensive_rebuild);
+        gen_handler();
+        self.noop();
+    }
+    fn noop(&self) {}
+}
+"#;
+    check_fixture("macro_edges.rs", src);
+}
+
+/// Two impls share a method name: `self.method()` resolves to the
+/// *enclosing* impl only, so the shadow impl's allocation stays
+/// off-path.
+#[test]
+fn callgraph_shadowed_method_names_stay_separate() {
+    let src = r#"
+pub struct HotPath;
+pub struct ColdPath;
+
+impl HotPath {
+    // volint::root(SWITCH)
+    pub fn handle_switch(&self) {
+        self.flush_state();
+    }
+    fn flush_state(&self) {
+        std::hint::spin_loop();
+    }
+}
+
+impl ColdPath {
+    fn flush_state(&self) {
+        let mut log = Vec::new();
+        log.push(3u64);
+    }
+}
+"#;
+    check_fixture("shadowed_names.rs", src);
+}
+
+/// Reachability crosses crate boundaries: a root in one source file
+/// reaches a free fn defined in another, and the diagnostics land in
+/// the *callee's* file with the callee's lines.
+#[test]
+fn callgraph_crosses_crate_boundaries() {
+    let core_src = "\
+pub struct Switcher;
+
+impl Switcher {
+    // volint::root(SWITCH)
+    pub fn handle_switch(&self) {
+        xenon_recompute_frames();
+    }
+}
+";
+    let xenon_src = "\
+pub fn xenon_recompute_frames() {
+    let mut scratch = Vec::new();
+    scratch.push(0usize);
+}
+";
+    let cfg = Config::mercury_defaults();
+    let diags = analyze_sources(
+        &[
+            ("fixture://core/switchx.rs".to_string(), core_src.to_string()),
+            ("fixture://xenon/recompute.rs".to_string(), xenon_src.to_string()),
+        ],
+        &cfg,
+    );
+    let allocs: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule.as_str() == "SWITCH-ALLOC")
+        .collect();
+    assert_eq!(allocs.len(), 2, "{diags:#?}");
+    assert!(
+        allocs
+            .iter()
+            .all(|d| d.file == "fixture://xenon/recompute.rs"),
+        "{allocs:#?}"
+    );
+    assert_eq!(
+        allocs.iter().map(|d| d.line).collect::<BTreeSet<_>>(),
+        [2usize, 3usize].into_iter().collect::<BTreeSet<_>>()
+    );
+}
+
+/// Reachability starts at roots, full stop: with no root marker the
+/// switch-path rules make no claims, however alloc-heavy the code.
+#[test]
+fn no_root_means_no_switch_path_findings() {
+    let src = "\
+pub fn rebuild_everything() {
+    let mut v = Vec::new();
+    v.push(1u32);
+    let first = v.first().unwrap();
+    assert!(*first == 1);
+    for _ in 0..*first {
+        std::hint::spin_loop();
+    }
+}
+";
+    let cfg = Config::mercury_defaults();
+    let diags = analyze_sources(
+        &[("fixture://no_root.rs".to_string(), src.to_string())],
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// ---------------------------------------------------------------
+// v2: static cycle budget
+// ---------------------------------------------------------------
+
+/// End-to-end budget computation over sources: cost markers scale by
+/// enclosing loop bounds; calls charge the callee's memoized cost; the
+/// span's probe name becomes the phase key.
+#[test]
+fn budget_integration_costs_scale_by_bounds() {
+    let src = r#"
+pub struct Vm;
+
+impl Vm {
+    pub fn attach(&self, cpu: &Cpu) {
+        merctrace::span_begin!(cpu.id, "switch.fixup", cpu.cycles());
+        // volint::bound(4)
+        for _ in frames() {
+            // volint::cost(100)
+            tick(cpu);
+        }
+        self.settle(cpu);
+        merctrace::span_end!(cpu.id, "switch.fixup", cpu.cycles());
+    }
+
+    fn settle(&self, _cpu: &Cpu) {
+        // volint::cost(50)
+        touch();
+    }
+}
+"#;
+    let b = volint::budget_sources(&[("fixture://budget.rs".to_string(), src.to_string())]);
+    // 4 * 100 from the loop, + 50 from the callee.
+    assert_eq!(b.phases.get("switch.fixup"), Some(&450));
+    assert!((b.us("switch.fixup").unwrap() - 0.15).abs() < 1e-9);
+}
+
+/// The committed `volint_budget.json` must be exactly what the
+/// analyzer emits for the current sources — CI enforces this with a
+/// byte compare, the test mirrors it so drift fails locally first.
+#[test]
+fn committed_budget_matches_sources() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("volint lives at <ws>/crates/volint")
+        .to_path_buf();
+    let committed = std::fs::read_to_string(root.join("volint_budget.json"))
+        .expect("volint_budget.json must be committed at the workspace root");
+    let budget = volint::budget_workspace(&root).expect("workspace must be readable");
+    assert_eq!(
+        committed,
+        budget.to_json(),
+        "volint_budget.json is stale; regenerate with \
+         `cargo run -p volint -- --budget volint_budget.json`"
+    );
+}

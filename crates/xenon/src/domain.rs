@@ -124,6 +124,7 @@ impl Domain {
     /// Record a pinned base table.  Public for Mercury's VO-assistant,
     /// which rebuilds this list during an attach.
     pub fn add_pgd(&self, pgd: FrameNum) {
+        // volint::allow(SWITCH-ALLOC): pinned-pgd registry push; pinning happens at guest setup, and the attach-path rebuild pre-clears then re-adds ≤ one entry per process
         self.pgds.lock().push(pgd);
     }
 
@@ -201,6 +202,7 @@ impl Domain {
     /// hypercall's effect).  The hypervisor reflects faults and virtual
     /// IRQs into these.
     pub(crate) fn set_trap_gate(&self, vector: u8, sink: Arc<dyn InterruptSink>) {
+        // volint::allow(SWITCH-ALLOC): gate-table map holds ≤ 32 vectors; registration happens under the trap-table span, accepted by §4.4
         self.trap_table.write().insert(vector, sink);
     }
 

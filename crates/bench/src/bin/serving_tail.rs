@@ -20,6 +20,12 @@
 //!   beneath live traffic, detected by sweep reads, answered by the
 //!   watchdog's reactive attach (and detach at window end).
 //!
+//! Every server donates its open-loop gaps to the node's background
+//! scrubber (`NodeServer::donate_gaps_to_scrubber`): while the node is
+//! native, worker idle time revalidates dirty frames so the attaches in
+//! the switching scenarios pay only for what the gaps didn't reach.
+//! The per-scenario `scrub_revalidated` field counts those frames.
+//!
 //! Determinism: the whole suite runs **twice in-process** and every
 //! request record (arrival/start/finish cycles, shape, worker, outcome)
 //! plus every switch counter must be bit-identical before anything is
@@ -99,6 +105,10 @@ struct SwitchSnap {
     detaches: u64,
     attach_cycles: u64,
     detach_cycles: u64,
+    /// Frames the background scrubber revalidated out of open-loop
+    /// serving gaps (native mode only) — each one shaved off the next
+    /// attach's dirty set.
+    scrubbed: u64,
 }
 
 fn snap(node: &Node) -> SwitchSnap {
@@ -109,6 +119,7 @@ fn snap(node: &Node) -> SwitchSnap {
         detaches: s.detaches.load(Relaxed),
         attach_cycles: s.total_attach_cycles.load(Relaxed),
         detach_cycles: s.total_detach_cycles.load(Relaxed),
+        scrubbed: node.scrubber().revalidated(),
     }
 }
 
@@ -119,6 +130,7 @@ fn delta(node: &Node, base: SwitchSnap) -> SwitchSnap {
         detaches: s.detaches - base.detaches,
         attach_cycles: s.attach_cycles - base.attach_cycles,
         detach_cycles: s.detach_cycles - base.detach_cycles,
+        scrubbed: s.scrubbed - base.scrubbed,
     }
 }
 
@@ -171,6 +183,7 @@ fn scenario_steady(seed: u64, cpus: usize, virtual_mode: bool, requests: u32) ->
             ..ServerConfig::default()
         },
     );
+    server.donate_gaps_to_scrubber();
     let traffic = oltp_traffic(seed, cpus, requests);
     let base = snap(&node);
     server.run(&traffic, |_, _| {});
@@ -193,6 +206,9 @@ fn scenario_switch_under_load(seed: u64, requests: u32) -> ScenarioRun {
     let node = Node::launch("bench", &node_config(1));
     let mercury = node.mercury();
     let mut server = NodeServer::new(&node, 0, ServerConfig::default());
+    // Native-phase serving gaps feed the scrubber, so every attach on
+    // the cadence revalidates only the frames the gaps didn't reach.
+    server.donate_gaps_to_scrubber();
     let traffic = oltp_traffic(seed, 1, requests);
     let base = snap(&node);
     let mut next = SWITCH_PERIOD;
@@ -237,7 +253,11 @@ fn cluster_fleet(n: usize) -> (Cluster, ClusterServer) {
         .nodes
         .iter()
         .enumerate()
-        .map(|(i, node)| NodeServer::new(node, i as u32, cfg))
+        .map(|(i, node)| {
+            let mut s = NodeServer::new(node, i as u32, cfg);
+            s.donate_gaps_to_scrubber();
+            s
+        })
         .collect();
     (cluster, ClusterServer::new(servers))
 }
@@ -286,6 +306,7 @@ fn scenario_cluster(seed: u64, requests: u32, switching: bool) -> ScenarioRun {
         switches.detaches += d.detaches;
         switches.attach_cycles += d.attach_cycles;
         switches.detach_cycles += d.detach_cycles;
+        switches.scrubbed += d.scrubbed;
     }
     ScenarioRun {
         name: if switching {
@@ -310,6 +331,7 @@ fn scenario_cluster(seed: u64, requests: u32, switching: bool) -> ScenarioRun {
 fn scenario_fault_under_load(seed: u64, requests: u32) -> ScenarioRun {
     let node = Node::launch("bench", &node_config(1));
     let mut server = NodeServer::new(&node, 0, ServerConfig::default());
+    server.donate_gaps_to_scrubber();
     let traffic = oltp_traffic(seed.wrapping_add(1), 1, requests);
     let base = snap(&node);
 
@@ -423,7 +445,8 @@ fn json_scenario(s: &ScenarioRun, t: &TailStats) -> String {
             "\"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, ",
             "\"mean_us\": {:.3}, \"mean_queue_us\": {:.3}, ",
             "\"attaches\": {}, \"detaches\": {}, ",
-            "\"attach_cycles\": {}, \"detach_cycles\": {}, \"faults_recovered\": {}}}"
+            "\"attach_cycles\": {}, \"detach_cycles\": {}, ",
+            "\"scrub_revalidated\": {}, \"faults_recovered\": {}}}"
         ),
         s.name,
         s.mode,
@@ -446,6 +469,7 @@ fn json_scenario(s: &ScenarioRun, t: &TailStats) -> String {
         s.switches.detaches,
         s.switches.attach_cycles,
         s.switches.detach_cycles,
+        s.switches.scrubbed,
         s.faults_recovered,
     )
 }

@@ -1,39 +1,77 @@
 //! Decompose §7.4's mode-switch cost into its §5.1 phases.
 //!
-//! Runs the same warmed uniprocessor M-N system as the `mode_switch`
+//! Runs the same warmed uniprocessor M-N systems as the `mode_switch`
 //! binary, but with the merctrace probes armed around every switch, and
 //! reports where the cycles of an attach and a detach actually go:
 //! state transfer (page-table writability flips, selector fixups, frame
 //! accounting), per-CPU hardware reload, and the VO pointer swap.
+//!
+//! Three legs, one per strategy of interest:
+//!
+//! * **attach / detach** — the default ([`TrackingStrategy::DirtyRecompute`])
+//!   path: boot pre-cache + O(dirty) revalidation on attach, snapshot
+//!   retention (O(tables) release) on detach.  This is the headline
+//!   decomposition benchgate budgets against.
+//! * **attach_full / detach_full** — the paper's original
+//!   recompute-on-switch path, kept as the §7.4 anchor (the ~0.22 ms /
+//!   ~0.06 ms numbers).
+//! * **attach_lazy / detach_lazy** — [`TrackingStrategy::LazyValidate`]
+//!   with a fork-and-exit churn before every attach, so each sample has
+//!   both kernel-critical dirty frames (validated synchronously) and
+//!   deferrable ones (enqueued in `lazy_admit` for first-touch
+//!   validation).
 //!
 //! Emits three artifacts next to `bench_results.json`:
 //!
 //! * a markdown per-phase table on stdout (pasted into EXPERIMENTS.md §7.3),
 //! * `switch_timeline.json` — the same breakdown, machine-readable,
 //! * `switch_timeline.trace.json` — a Chrome `trace_event` file of the
-//!   last attach/detach pair (open in `about:tracing` / Perfetto).
+//!   default leg's last attach/detach pair (open in `about:tracing` /
+//!   Perfetto).
 //!
-//! The sum of the phases is checked against the end-to-end switch cost:
-//! the binary exits non-zero if they disagree by more than 1%, so the
-//! decomposition cannot silently drift from the headline number.
+//! The sum of the phases is checked against the end-to-end switch cost
+//! for every leg: the binary exits non-zero if they disagree by more
+//! than 1%, so the decomposition cannot silently drift from the
+//! headline number.  (`lazy_admit` is nested inside
+//! `pginfo_recompute`, so its cycles appear in both rows; at ≤ 1 cycle
+//! per deferred frame the double count stays far inside the 1% band.)
 
-use mercury::SwitchOutcome;
+use mercury::{SwitchOutcome, TrackingStrategy};
 use mercury_workloads::configs::{SysKind, TestBed};
 use simx86::costs::{cycles_to_us, CYCLES_PER_US};
 use std::collections::BTreeMap;
 
 const SAMPLES: u32 = 20;
 
-/// Phase probes in timeline order, per direction.
+/// Phase probes in timeline order, for the dirty-baseline attach.
 const ATTACH_PHASES: &[&str] = &[
     "switch.transfer.flip_tables",
     "switch.transfer.fix_selectors",
     "switch.transfer.pginfo_recompute",
+    "switch.transfer.lazy_admit",
     "switch.transfer.trap_table",
     "switch.reload_cpu",
     "switch.vo_swap",
 ];
+/// Phase probes for the legacy full-recompute attach.
+const ATTACH_PHASES_FULL: &[&str] = &[
+    "switch.transfer.flip_tables",
+    "switch.transfer.fix_selectors",
+    "switch.transfer.pginfo_full",
+    "switch.transfer.trap_table",
+    "switch.reload_cpu",
+    "switch.vo_swap",
+];
+/// Phase probes for the dirty-baseline detach (snapshot retained).
 const DETACH_PHASES: &[&str] = &[
+    "switch.transfer.pginfo_retain",
+    "switch.transfer.flip_tables",
+    "switch.transfer.fix_selectors",
+    "switch.reload_cpu",
+    "switch.vo_swap",
+];
+/// Phase probes for the legacy detach (wholesale accounting wipe).
+const DETACH_PHASES_FULL: &[&str] = &[
     "switch.transfer.pginfo_clear",
     "switch.transfer.flip_tables",
     "switch.transfer.fix_selectors",
@@ -43,7 +81,7 @@ const DETACH_PHASES: &[&str] = &[
 
 /// Accumulated per-phase cycles for one switch direction.
 struct Breakdown {
-    /// Direction label (`attach` / `detach`).
+    /// Leg label (`attach`, `detach_full`, `attach_lazy`, …).
     label: &'static str,
     /// Phase probe names in timeline order.
     phases: &'static [&'static str],
@@ -134,19 +172,10 @@ impl Breakdown {
     }
 }
 
-fn main() {
-    assert!(
-        merctrace::ENABLED,
-        "switch_timeline needs the merctrace probes compiled in"
-    );
-    merctrace::init(merctrace::DEFAULT_RING_CAPACITY);
-
-    // Same warmed system as `mode_switch`: one CPU, real processes and
-    // page tables so the transfer functions have work to do.
-    let bed = TestBed::build(SysKind::MN, 1);
-    let mercury = bed.mercury.as_ref().expect("M-N testbed has mercury");
-    let cpu = bed.machine.boot_cpu();
-    let sess = nimbus::Session::new(std::sync::Arc::clone(mercury.kernel()), 0);
+/// Warm a bed the way `mode_switch` does: a real process and a 128-page
+/// dirty mapping, so the transfer functions have work to do.
+fn warm(bed: &TestBed) -> nimbus::Session {
+    let sess = bed.session(0);
     sess.exec("lat_proc").expect("exec");
     let va = sess
         .mmap(128, nimbus::mm::Prot::RW, nimbus::kernel::MmapBacking::Anon)
@@ -155,11 +184,53 @@ fn main() {
         sess.poke(simx86::VirtAddr(va.0 + p * 4096), p)
             .expect("touch");
     }
+    sess
+}
 
-    let mut attach = Breakdown::new("attach", ATTACH_PHASES);
-    let mut detach = Breakdown::new("detach", DETACH_PHASES);
+/// Dirty some *deferrable* frames: a short-lived child maps and touches
+/// pages, then exits.  Its table frames go back to the pool dirty but
+/// no longer kernel-critical — exactly the population `LazyValidate`
+/// defers to first-touch validation — while the fork's COW flips dirty
+/// the parent's (live, critical) tables.
+fn churn(sess: &nimbus::Session) {
+    let child = sess.fork().expect("fork");
+    assert!(
+        sess.waitpid().expect("waitpid").is_none(),
+        "child should still be running"
+    );
+    let va = sess
+        .mmap(32, nimbus::mm::Prot::RW, nimbus::kernel::MmapBacking::Anon)
+        .expect("mmap");
+    for p in 0..32u64 {
+        sess.poke(simx86::VirtAddr(va.0 + p * 4096), p)
+            .expect("touch");
+    }
+    sess.exit(0).expect("exit");
+    assert_eq!(
+        sess.waitpid().expect("waitpid").expect("child exited").0,
+        child,
+        "reaped the churn child"
+    );
+}
+
+/// Run one attach/detach leg: `SAMPLES` round trips on `bed`, phases
+/// split per `attach_phases`/`detach_phases`, with `before_attach` run
+/// (untraced) ahead of every attach.  Returns the two breakdowns plus
+/// the last pair of Chrome traces.
+fn run_leg(
+    bed: &TestBed,
+    labels: (&'static str, &'static str),
+    attach_phases: &'static [&'static str],
+    detach_phases: &'static [&'static str],
+    mut before_attach: impl FnMut(),
+) -> (Breakdown, Breakdown, (String, String)) {
+    let mercury = bed.mercury.as_ref().expect("M-N testbed has mercury");
+    let cpu = bed.machine.boot_cpu();
+    let mut attach = Breakdown::new(labels.0, attach_phases);
+    let mut detach = Breakdown::new(labels.1, detach_phases);
     let mut last_traces = (String::new(), String::new());
     for _ in 0..SAMPLES {
+        before_attach();
         merctrace::reset();
         merctrace::arm();
         let SwitchOutcome::Completed { cycles } = mercury.switch_to_virtual(cpu).expect("attach")
@@ -184,30 +255,89 @@ fn main() {
         detach.add(&snap, cycles);
         last_traces.1 = merctrace::export::chrome_trace(&snap, CYCLES_PER_US);
     }
+    (attach, detach, last_traces)
+}
 
-    println!("Mode-switch timeline (strategy: recompute-on-switch, {SAMPLES} samples)\n");
+fn main() {
+    assert!(
+        merctrace::ENABLED,
+        "switch_timeline needs the merctrace probes compiled in"
+    );
+    merctrace::init(merctrace::DEFAULT_RING_CAPACITY);
+
+    // Headline leg: the default dirty-baseline strategy, warmed like
+    // `mode_switch`.  Between round trips nothing runs, so samples past
+    // the first decompose the steady O(dirty)+O(tables) switch.
+    let bed = TestBed::build_mn_with_strategy(1, TrackingStrategy::default());
+    let _sess = warm(&bed);
+    let (attach, detach, traces) = run_leg(
+        &bed,
+        ("attach", "detach"),
+        ATTACH_PHASES,
+        DETACH_PHASES,
+        || {},
+    );
+
+    // Anchor leg: the paper's full recompute (§7.4's ~0.22 ms / ~0.06 ms).
+    let bed_full = TestBed::build(SysKind::MN, 1);
+    let _sess_full = warm(&bed_full);
+    let (attach_full, detach_full, _) = run_leg(
+        &bed_full,
+        ("attach_full", "detach_full"),
+        ATTACH_PHASES_FULL,
+        DETACH_PHASES_FULL,
+        || {},
+    );
+
+    // Lazy leg: fault-driven admission with a churn before every attach
+    // so each sample defers real frames through `lazy_admit`.
+    let bed_lazy = TestBed::build_mn_with_strategy(1, TrackingStrategy::LazyValidate);
+    let sess_lazy = bed_lazy.session(0);
+    let (attach_lazy, detach_lazy, _) = run_leg(
+        &bed_lazy,
+        ("attach_lazy", "detach_lazy"),
+        ATTACH_PHASES,
+        DETACH_PHASES,
+        || churn(&sess_lazy),
+    );
+
+    println!("Mode-switch timeline ({SAMPLES} samples per leg)\n");
+    println!("Default strategy (dirty-recompute, boot pre-cache):\n");
     println!("{}", attach.markdown());
     println!("{}", detach.markdown());
+    println!("Legacy anchor (recompute-on-switch):\n");
+    println!("{}", attach_full.markdown());
+    println!("{}", detach_full.markdown());
+    println!("Lazy fault-driven admission (lazy-validate, churned):\n");
+    println!("{}", attach_lazy.markdown());
+    println!("{}", detach_lazy.markdown());
 
+    let legs = [
+        &attach,
+        &detach,
+        &attach_full,
+        &detach_full,
+        &attach_lazy,
+        &detach_lazy,
+    ];
     let json = format!(
-        "{{\n{},\n{}\n}}\n",
-        attach.json(),
-        detach.json()
+        "{{\n{}\n}}\n",
+        legs.iter()
+            .map(|b| b.json())
+            .collect::<Vec<_>>()
+            .join(",\n")
     );
     std::fs::write("switch_timeline.json", &json).expect("write switch_timeline.json");
-    // Keep the last attach's trace (the detach trace is a strict subset
-    // of phases; merge both into one file, attach first).
-    let trace = format!(
-        "{{\"attach\":{},\"detach\":{}}}\n",
-        last_traces.0, last_traces.1
-    );
+    // Keep the default leg's last attach/detach pair as the Chrome
+    // trace (the other legs differ only in the accounting phase).
+    let trace = format!("{{\"attach\":{},\"detach\":{}}}\n", traces.0, traces.1);
     std::fs::write("switch_timeline.trace.json", trace).expect("write switch_timeline.trace.json");
     eprintln!("wrote switch_timeline.json, switch_timeline.trace.json");
 
     // The decomposition must account for the headline number: phases sum
     // within 1% of the end-to-end cost (§7.4 / bench_results.json).
     let mut ok = true;
-    for b in [&attach, &detach] {
+    for b in legs {
         let gap = (b.sum_us() - b.total_us()).abs() / b.total_us();
         if gap > 0.01 {
             eprintln!(

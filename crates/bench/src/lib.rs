@@ -29,9 +29,11 @@ pub struct SwitchTimes {
     pub strategy: String,
     /// Mean native→virtual time (µs), all samples.
     pub attach_us: f64,
-    /// First (cold) native→virtual time (µs).  For `DirtyRecompute`
-    /// this is a full-table validation; later attaches revalidate only
-    /// the frames dirtied since the last detach.
+    /// First (cold) native→virtual time (µs).  Under the dirty-baseline
+    /// strategies there is no full-table cold attach any more: the
+    /// boot-time pre-cache arms the snapshot at install, so even the
+    /// first attach pays only for the frames dirtied since boot.  For
+    /// the legacy strategies this is the full-rate first validation.
     pub cold_attach_us: f64,
     /// Mean of the warm re-attaches (µs): every sample after the first.
     pub warm_attach_us: f64,

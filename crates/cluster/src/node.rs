@@ -1,7 +1,7 @@
 //! Nodes and clusters: whole machines running Mercury-enabled kernels.
 
 use crate::health::HealthMonitor;
-use mercury::{Mercury, TrackingStrategy};
+use mercury::{ExecMode, Mercury, TrackingStrategy};
 use nimbus::drivers::block::NativeBlockDriver;
 use nimbus::drivers::net::NativeNetDriver;
 use nimbus::kernel::{BootMode, KernelConfig};
@@ -9,8 +9,8 @@ use nimbus::{Kernel, Session};
 use parking_lot::RwLock;
 use simx86::devices::LinkWire;
 use simx86::{Machine, MachineConfig};
-use std::sync::Arc;
-use xenon::Hypervisor;
+use std::sync::{Arc, Weak};
+use xenon::{BackgroundScrubber, Hypervisor};
 
 /// Node sizing.
 #[derive(Debug, Clone)]
@@ -38,7 +38,7 @@ impl Default for NodeConfig {
             pool_frames: 6 * 1024,
             disk_sectors: 64 * 1024,
             fs_blocks: 4096,
-            strategy: TrackingStrategy::RecomputeOnSwitch,
+            strategy: TrackingStrategy::default(),
         }
     }
 }
@@ -57,6 +57,10 @@ pub struct Node {
     kernel: RwLock<Arc<Kernel>>,
     /// The Mercury engine for the current kernel.
     mercury: RwLock<Arc<Mercury>>,
+    /// Background revalidator over dom0's dirty frames: idle CPU time
+    /// and serving-gap cycles are donated here while the node is
+    /// native, shortening the dirty set the next attach must pay for.
+    scrubber: Arc<BackgroundScrubber>,
     /// Hardware health sensors.
     pub health: HealthMonitor,
 }
@@ -92,14 +96,36 @@ impl Node {
         kernel.set_net_driver(NativeNetDriver::new(Arc::clone(&machine)));
         let mercury = Mercury::install(Arc::clone(&kernel), Arc::clone(&hv), config.strategy)
             .expect("mercury install failed");
+        let scrubber = BackgroundScrubber::new(Arc::clone(&hv.page_info), mercury.dom0().id);
+        Self::wire_idle_scrubber(&kernel, &mercury, &scrubber);
         Arc::new(Node {
             name: name.to_string(),
             machine,
             hv,
             kernel: RwLock::new(kernel),
             mercury: RwLock::new(mercury),
+            scrubber,
             health: HealthMonitor::new(),
         })
+    }
+
+    /// Point `kernel`'s idle loop at the node's scrubber: an idle CPU
+    /// donates its quantum to dirty-frame revalidation, but only while
+    /// Mercury is native — in virtual mode the frame accounting is live
+    /// and there is nothing to pre-validate.
+    fn wire_idle_scrubber(
+        kernel: &Arc<Kernel>,
+        mercury: &Arc<Mercury>,
+        scrubber: &Arc<BackgroundScrubber>,
+    ) {
+        let merc: Weak<Mercury> = Arc::downgrade(mercury);
+        let scrub = Arc::clone(scrubber);
+        kernel.set_idle_task(Some(Arc::new(move |cpu, budget| {
+            match merc.upgrade() {
+                Some(m) if m.mode() == ExecMode::Native => scrub.donate(cpu, budget),
+                _ => 0,
+            }
+        })));
     }
 
     /// The node's current kernel.
@@ -112,8 +138,15 @@ impl Node {
         Arc::clone(&self.mercury.read())
     }
 
+    /// The node's background dirty-frame scrubber.
+    pub fn scrubber(&self) -> &Arc<BackgroundScrubber> {
+        &self.scrubber
+    }
+
     /// Replace the node's OS (after an evacuated kernel returns home).
+    /// The new kernel's idle loop is rewired to the node's scrubber.
     pub fn adopt_os(&self, kernel: Arc<Kernel>, mercury: Arc<Mercury>) {
+        Self::wire_idle_scrubber(&kernel, &mercury, &self.scrubber);
         *self.kernel.write() = kernel;
         *self.mercury.write() = mercury;
     }
@@ -198,6 +231,40 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn idle_cpu_donates_to_the_scrubber() {
+        let node = Node::launch(
+            "n0",
+            &NodeConfig {
+                num_cpus: 2,
+                ..NodeConfig::default()
+            },
+        );
+        // Fault in pages on CPU 0: the PTE writes mark their table
+        // frames dirty in the dormant VMM's accounting.
+        let sess = node.session();
+        let va = sess
+            .mmap(8, nimbus::mm::Prot::RW, nimbus::kernel::MmapBacking::Anon)
+            .unwrap();
+        for p in 0..8u64 {
+            sess.poke(
+                simx86::paging::VirtAddr(va.0 + p * simx86::paging::PAGE_SIZE),
+                p,
+            )
+            .unwrap();
+        }
+        assert!(node.scrubber().backlog() > 0, "pokes must dirty tables");
+
+        // CPU 1 has nothing to run: its idle pass donates cycles to the
+        // scrubber, shrinking the dirty set the next attach pays for.
+        let idle = Session::new(node.kernel(), 1);
+        while node.scrubber().backlog() > 0 {
+            idle.idle().unwrap();
+        }
+        assert!(node.scrubber().revalidated() > 0);
+        assert!(node.scrubber().cycles_donated() > 0);
     }
 
     #[test]

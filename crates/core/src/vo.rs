@@ -15,11 +15,12 @@
 //! * optionally, the **active tracking** mirror cost of §5.1.2's first
 //!   strategy: every native page-table mutation also updates the
 //!   dormant VMM's frame accounting;
-//! * or, under [`TrackingStrategy::DirtyRecompute`], the far cheaper
-//!   **dirty marking**: a native page-table mutation only sets the
-//!   containing table frame's dirty bit in the dormant VMM's
-//!   `page_info`, so the next attach revalidates just the dirtied
-//!   frames.
+//! * or, under [`TrackingStrategy::DirtyRecompute`] (the default) and
+//!   [`TrackingStrategy::LazyValidate`], the far cheaper **dirty
+//!   marking**: a native page-table mutation only sets the containing
+//!   table frame's dirty bit in the dormant VMM's `page_info`, so the
+//!   next attach revalidates just the dirtied frames — synchronously up
+//!   to a cap, lazily on first touch beyond it.
 
 use crate::pgtrack::TrackingStrategy;
 use crate::refcount::VoRefCount;
@@ -105,7 +106,7 @@ impl CountedVo {
             TrackingStrategy::ActiveTracking => {
                 cpu.tick(costs::ACTIVE_TRACK_PER_PTE * entries);
             }
-            TrackingStrategy::DirtyRecompute => {
+            TrackingStrategy::DirtyRecompute | TrackingStrategy::LazyValidate => {
                 cpu.tick(costs::DIRTY_TRACK_PER_PTE * entries);
                 if let Some(pi) = &self.page_info {
                     pi.mark_dirty(table);

@@ -1,0 +1,135 @@
+//! Strategy-equivalence property test for `LazyValidate` (§5.1.1).
+//!
+//! The lazy attach admits the guest after synchronously revalidating
+//! only the *kernel-critical* dirty frames; everything else is either
+//! restored from the boot pre-cache snapshot or deferred to its first
+//! guest touch.  The soundness claim is that none of this machinery is
+//! observable in the accounting: after an attach — under an arbitrary
+//! native-mode dirty set and with validation faults interleaved into
+//! ordinary guest memory traffic — the page_info table is bit-identical
+//! (modulo dirty bits, which are charge bookkeeping, not validation
+//! state) to what a cold full recompute of the live page tables
+//! produces.
+
+use mercury::{Mercury, TrackingStrategy};
+use nimbus::drivers::block::NativeBlockDriver;
+use nimbus::drivers::net::NativeNetDriver;
+use nimbus::kernel::{BootMode, KernelConfig, MmapBacking};
+use nimbus::mm::Prot;
+use nimbus::Session;
+use proptest::prelude::*;
+use simx86::paging::{VirtAddr, PAGE_SIZE};
+use simx86::{Machine, MachineConfig};
+use std::sync::Arc;
+use xenon::page_info::PageInfo;
+use xenon::Hypervisor;
+
+fn rig() -> (Arc<Machine>, Arc<Hypervisor>, Arc<Mercury>) {
+    let machine = Machine::new(MachineConfig {
+        num_cpus: 1,
+        mem_frames: 16 * 1024,
+        disk_sectors: 64 * 1024,
+    });
+    let hv = Hypervisor::warm_up(&machine);
+    let cpu = machine.boot_cpu();
+    let pool = machine.allocator.alloc_many(cpu, 8 * 1024).unwrap();
+    let kernel = nimbus::Kernel::boot(
+        Arc::clone(&machine),
+        KernelConfig {
+            pool,
+            mode: BootMode::Bare,
+            fs_blocks: 4096,
+            fs_first_block: 1,
+        },
+    )
+    .unwrap();
+    let bounce = machine.allocator.alloc(cpu).unwrap();
+    kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
+    kernel.set_net_driver(NativeNetDriver::new(Arc::clone(&machine)));
+    let mercury = Mercury::install(kernel, Arc::clone(&hv), TrackingStrategy::LazyValidate).unwrap();
+    (machine, hv, mercury)
+}
+
+/// Validation state with the dirty charge-bookkeeping bit masked off.
+fn strip(v: Vec<PageInfo>) -> Vec<PageInfo> {
+    v.into_iter()
+        .map(|mut r| {
+            r.dirty = false;
+            r
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Post-attach page_info is bit-identical to a cold recompute of
+    /// the live tables, for random dirty sets (child churn leaving
+    /// freed-but-dirty tables, plus arbitrary extra dirty marks on
+    /// pool frames) and with first-touch validation faults interleaved
+    /// into ordinary guest pokes.
+    #[test]
+    fn lazy_attach_accounting_equals_cold_recompute(
+        // Each round: a forked child faults in `pages` anonymous pages
+        // and exits, leaving its table frames freed but dirty.
+        churn_pages in proptest::collection::vec(1usize..12, 1..3),
+        // Extra native-mode dirty marks, as indices into the pool.
+        extra_dirty in proptest::collection::vec(0usize..8192, 0..48),
+        // Guest pages faulted in after admission; the pool free list is
+        // LIFO, so these reuse deferred frames and take the validation
+        // fault mid-traffic.
+        touches in 0usize..24,
+    ) {
+        let (machine, hv, mercury) = rig();
+        let cpu = machine.boot_cpu();
+        let dom = mercury.dom0().id;
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+
+        // Random dirty set, part 1: child churn (freed + dirty tables).
+        for pages in &churn_pages {
+            let child = sess.fork().unwrap();
+            prop_assert_eq!(sess.waitpid().unwrap(), None);
+            let va = sess.mmap(*pages, Prot::RW, MmapBacking::Anon).unwrap();
+            for p in 0..*pages as u64 {
+                sess.poke(VirtAddr(va.0 + p * PAGE_SIZE), p).unwrap();
+            }
+            sess.exit(0).unwrap();
+            prop_assert_eq!(sess.waitpid().unwrap().unwrap().0, child);
+        }
+        // Random dirty set, part 2: arbitrary marks on pool frames
+        // (conservative over-approximation is always legal).
+        let pool = mercury.kernel().pool_frames();
+        for i in &extra_dirty {
+            hv.page_info.mark_dirty(pool[*i % pool.len()]);
+        }
+
+        // Lazy admission, then fault-interleaved guest traffic.
+        mercury.switch_to_virtual(cpu).unwrap();
+        if touches > 0 {
+            let va = sess.mmap(touches, Prot::RW, MmapBacking::Anon).unwrap();
+            for p in 0..touches as u64 {
+                sess.poke(VirtAddr(va.0 + p * PAGE_SIZE), p).unwrap();
+            }
+        }
+
+        // The invariant the admission must never break: no frame the
+        // kernel can execute through is still awaiting validation.
+        if let Some(set) = mercury.lazy_set() {
+            for f in mercury.kernel().all_table_frames() {
+                prop_assert!(!set.contains(f), "critical frame {:?} deferred", f);
+            }
+        }
+
+        // Live accounting vs a cold recompute of the same tables.
+        let live = strip(hv.page_info.snapshot());
+        let pgds = mercury.kernel().all_pgds();
+        hv.page_info
+            .recompute_for(cpu, &machine.mem, dom, pool.len(), &pgds)
+            .unwrap();
+        let cold = strip(hv.page_info.snapshot());
+        prop_assert_eq!(live.len(), cold.len());
+        for (i, (a, b)) in live.iter().zip(cold.iter()).enumerate() {
+            prop_assert_eq!(a, b, "frame {} diverged (live vs cold recompute)", i);
+        }
+    }
+}

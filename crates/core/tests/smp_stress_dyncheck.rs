@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use xenon::Hypervisor;
 
-fn rig(cpus: usize) -> (Arc<Machine>, Arc<Mercury>) {
+fn rig(cpus: usize, strategy: TrackingStrategy) -> (Arc<Machine>, Arc<Mercury>) {
     let machine = Machine::new(MachineConfig {
         num_cpus: cpus,
         mem_frames: 16 * 1024,
@@ -43,13 +43,13 @@ fn rig(cpus: usize) -> (Arc<Machine>, Arc<Mercury>) {
     let bounce = machine.allocator.alloc(cpu).unwrap();
     kernel.set_block_driver(NativeBlockDriver::new(Arc::clone(&machine), bounce));
     kernel.set_net_driver(NativeNetDriver::new(Arc::clone(&machine)));
-    let mercury = Mercury::install(kernel, hv, TrackingStrategy::RecomputeOnSwitch).unwrap();
+    let mercury = Mercury::install(kernel, hv, strategy).unwrap();
     (machine, mercury)
 }
 
 #[test]
 fn smp_stress_has_no_happens_before_violations() {
-    let (machine, mercury) = rig(2);
+    let (machine, mercury) = rig(2, TrackingStrategy::RecomputeOnSwitch);
     // Start from a clean report buffer (other tests in this binary may
     // share the global).
     let _ = dyncheck::take_reports();
@@ -147,4 +147,143 @@ fn smp_stress_has_no_happens_before_violations() {
     );
     assert_eq!(mercury.vo_refcount().check_balanced(), None);
     assert!(mercury.vo_refcount().is_idle());
+}
+
+/// SMP stress over the background scrubber: two donor threads hammer
+/// [`BackgroundScrubber::donate`] while a dirtier thread keeps marking
+/// pool frames and the control processor flips modes — whose
+/// `DirtyRecompute` attach path consumes the *same* dirty set.  Every
+/// pop is serialized by the frame-table lock, so the scrubber's
+/// accounting must balance exactly, no frame may be retired more often
+/// than it was marked, and the happens-before monitors on the
+/// rendezvous/refcount paths must stay silent throughout.
+#[test]
+fn concurrent_scrub_donation_keeps_accounting_balanced() {
+    use nimbus::kernel::IDLE_DONATION_QUANTUM;
+    use simx86::{costs, Cpu};
+    use std::sync::atomic::AtomicU64;
+    use xenon::BackgroundScrubber;
+
+    let (machine, mercury) = rig(2, TrackingStrategy::DirtyRecompute);
+    let _ = dyncheck::take_reports();
+    let scrubber = BackgroundScrubber::new(
+        Arc::clone(&mercury.hypervisor().page_info),
+        mercury.dom0().id,
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_peer = Arc::new(AtomicBool::new(false));
+
+    let peer = {
+        let cpu1 = Arc::clone(&machine.cpus[1]);
+        let stop = Arc::clone(&stop_peer);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                cpu1.service_pending();
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    // Dirtier: re-marks pool frames round-robin, counting raw marks.
+    let marks = Arc::new(AtomicU64::new(0));
+    let dirtier = {
+        let table = Arc::clone(&mercury.hypervisor().page_info);
+        let pool = mercury.kernel().pool_frames();
+        let stop = Arc::clone(&stop);
+        let marks = Arc::clone(&marks);
+        std::thread::spawn(move || {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                table.mark_dirty(pool[i % pool.len()]);
+                marks.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+                if i % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+
+    // Donors: each donates idle quanta from its own host-side vCPU.
+    let donors: Vec<_> = (0..2u32)
+        .map(|k| {
+            let s = Arc::clone(&scrubber);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let cpu = Arc::new(Cpu::new(4 + k as usize));
+                while !stop.load(Ordering::Acquire) {
+                    s.donate(&cpu, IDLE_DONATION_QUANTUM);
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    // CP: mode round trips; the dirty attach races the donors for the
+    // same dirty bits.
+    let cpu0 = machine.boot_cpu();
+    for round in 0..6u64 {
+        let to_virtual = round % 2 == 0;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let out = if to_virtual {
+                mercury.switch_to_virtual(cpu0)
+            } else {
+                mercury.switch_to_native(cpu0)
+            }
+            .unwrap_or_else(|e| panic!("switch failed at round {round}: {e}"));
+            match out {
+                SwitchOutcome::Completed { .. } | SwitchOutcome::AlreadyInMode => break,
+                SwitchOutcome::Deferred { .. } => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "round {round} deferred past deadline"
+                    );
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    stop.store(true, Ordering::Release);
+    dirtier.join().expect("dirtier panicked");
+    for d in donors {
+        d.join().expect("donor panicked");
+    }
+    if mercury.mode() == mercury::ExecMode::Virtual {
+        loop {
+            match mercury.switch_to_native(cpu0).unwrap() {
+                SwitchOutcome::Deferred { .. } => std::thread::yield_now(),
+                _ => break,
+            }
+        }
+    }
+    stop_peer.store(true, Ordering::Release);
+    peer.join().expect("peer thread panicked");
+
+    // Drain the leftover backlog so the final balance is exact.
+    let cpu = Arc::new(Cpu::new(6));
+    while scrubber.backlog() > 0 {
+        scrubber.donate(&cpu, IDLE_DONATION_QUANTUM);
+    }
+
+    let reports = dyncheck::take_reports();
+    assert!(
+        reports.is_empty(),
+        "happens-before checker found {} violation(s):\n{}",
+        reports.len(),
+        reports.join("\n")
+    );
+    assert!(scrubber.revalidated() > 0, "donors never retired a frame");
+    assert_eq!(
+        scrubber.cycles_donated(),
+        scrubber.revalidated() * costs::PGINFO_RECOMPUTE_PER_FRAME,
+        "a pop was charged at the wrong rate (or double-counted)"
+    );
+    assert!(
+        scrubber.revalidated() <= marks.load(Ordering::Relaxed),
+        "a frame was retired more often than it was marked"
+    );
+    assert_eq!(scrubber.backlog(), 0);
 }

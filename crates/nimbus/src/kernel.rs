@@ -101,6 +101,17 @@ pub enum MmapBacking {
 /// Timer callback type (Mercury's switch retry timer rides these).
 pub type TimerCallback = Arc<dyn Fn(&Arc<Cpu>) + Send + Sync>;
 
+/// Idle-task type: called with `(cpu, budget_cycles)` when a CPU's idle
+/// loop finds nothing runnable; must consume at most the budget and
+/// return the cycles actually used (Mercury's background frame
+/// revalidation donates idle time through this).
+pub type IdleTask = Arc<dyn Fn(&Arc<Cpu>, u64) -> u64 + Send + Sync>;
+
+/// Cycle budget handed to the registered [`IdleTask`] per idle pass —
+/// small enough that an interrupt-driven wakeup is never delayed by
+/// more than a few microseconds of donated work.
+pub const IDLE_DONATION_QUANTUM: u64 = 10_000;
+
 pub(crate) struct KState {
     pub pool: FramePool,
     pub procs: BTreeMap<u32, Process>,
@@ -159,6 +170,10 @@ pub struct Kernel {
     /// target state; patched "code" is modelled as versioned behaviour
     /// flags the workloads can observe).
     patches: RwLock<HashMap<String, u64>>,
+    /// Work the idle loop donates spare cycles to (background frame
+    /// revalidation while Mercury is dormant); `None` means idle CPUs
+    /// just wait for interrupts.
+    idle_task: RwLock<Option<IdleTask>>,
 }
 
 // ---------------------------------------------------------------------------
@@ -339,6 +354,7 @@ impl Kernel {
                 self_virt: RwLock::new(None),
                 patches: RwLock::new(HashMap::new()),
                 preemptible: AtomicBool::new(false),
+                idle_task: RwLock::new(None),
                 mode: config.mode.clone(),
                 smp,
                 mce_seen: AtomicBool::new(false),
@@ -782,8 +798,34 @@ impl Kernel {
                 self.do_switch(&mut st, cpu, next)?;
                 Ok(Some(next))
             }
-            None => Ok(None),
+            None => {
+                // Truly idle: donate a bounded quantum to the registered
+                // idle task (background frame revalidation) instead of
+                // spinning the cycles away.  The state lock is dropped
+                // first — the task may call back into kernel services.
+                drop(st);
+                let task = self.idle_task.read().clone();
+                if let Some(task) = task {
+                    let used = task(cpu, IDLE_DONATION_QUANTUM);
+                    debug_assert!(
+                        used <= IDLE_DONATION_QUANTUM,
+                        "idle task overran its {IDLE_DONATION_QUANTUM}-cycle budget: {used}"
+                    );
+                }
+                Ok(None)
+            }
         }
+    }
+
+    /// Register (or clear, with `None`) the idle-loop donation task.
+    ///
+    /// The task runs whenever a CPU's idle loop finds nothing runnable,
+    /// with a budget of [`IDLE_DONATION_QUANTUM`] cycles per pass; it
+    /// returns the cycles it actually consumed.  Mercury's background
+    /// scrubber rides this to revalidate dirty frames while native, so
+    /// the next attach finds a shorter dirty set.
+    pub fn set_idle_task(&self, task: Option<IdleTask>) {
+        *self.idle_task.write() = task;
     }
 
     /// Enable or disable involuntary preemption (`CONFIG_PREEMPT`).
@@ -1704,6 +1746,7 @@ impl Kernel {
                 self_virt: RwLock::new(None),
                 patches: RwLock::new(HashMap::new()),
                 preemptible: AtomicBool::new(false),
+                idle_task: RwLock::new(None),
                 mode: mode.clone(),
                 smp,
                 mce_seen: AtomicBool::new(false),

@@ -26,7 +26,7 @@
 use crate::loadgen::Arrival;
 use mercury_cluster::Node;
 use mercury_workloads::mix::RequestShape;
-use nimbus::kernel::{ReadOutcome, WriteOutcome};
+use nimbus::kernel::{IdleTask, ReadOutcome, WriteOutcome};
 use nimbus::Session;
 use simx86::devices::EchoWire;
 use std::collections::VecDeque;
@@ -167,6 +167,10 @@ pub struct NodeServer {
     /// to this.
     base: u64,
     payload: Vec<u8>,
+    /// Where a worker's open-loop gap (arrival later than `free_at`)
+    /// is donated before the remainder is idled away; `None` blank-
+    /// ticks the whole gap.
+    donor: Option<IdleTask>,
 }
 
 impl NodeServer {
@@ -256,7 +260,34 @@ impl NodeServer {
             records: Vec::new(),
             base,
             payload: chunk,
+            donor: None,
         }
+    }
+
+    /// Install (or clear) the open-loop gap donor.  The donor is called
+    /// with `(cpu, gap_cycles)` whenever a worker would otherwise idle
+    /// until the next request's start, and returns the cycles it
+    /// consumed (at most the gap); the scheduler idles away the rest.
+    pub fn set_idle_donor(&mut self, donor: Option<IdleTask>) {
+        self.donor = donor;
+    }
+
+    /// Donate open-loop gaps to the node's background scrubber —
+    /// Mercury's always-on dirty tracking turns serving slack into
+    /// attach-time savings.  Donation happens only while the node is
+    /// native; in virtual mode the accounting is already live.
+    ///
+    /// Deterministic: the scrubber's take-first-dirty order and the
+    /// gap lengths are pure functions of the seeded run.
+    pub fn donate_gaps_to_scrubber(&mut self) {
+        let node = Arc::clone(&self.node);
+        self.donor = Some(Arc::new(move |cpu, gap| {
+            if node.mercury().mode() == mercury::ExecMode::Native {
+                node.scrubber().donate(cpu, gap)
+            } else {
+                0
+            }
+        }));
     }
 
     /// The node being served.
@@ -400,7 +431,15 @@ impl NodeServer {
         let wk = &mut self.workers[w];
         let cpu = wk.sess.cpu();
         debug_assert!(start >= cpu.cycles(), "worker clock ran past its slot");
-        cpu.tick(start - cpu.cycles());
+        let gap = start - cpu.cycles();
+        if gap > 0 {
+            if let Some(donor) = &self.donor {
+                let used = donor(cpu, gap);
+                debug_assert!(used <= gap, "idle donor overran the open-loop gap");
+            }
+            // Idle away whatever the donor left of the gap.
+            cpu.tick(start - cpu.cycles());
+        }
         let started = cpu.cycles();
         merctrace::span_begin!(cpu.id, "servo.request", started);
 
@@ -540,6 +579,33 @@ mod tests {
             server.records().to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn open_loop_gaps_feed_the_scrubber() {
+        let node = Node::launch("n0", &NodeConfig::default());
+        // Dirty some table frames natively before traffic starts.
+        let sess = node.session();
+        let va = sess
+            .mmap(8, nimbus::mm::Prot::RW, nimbus::kernel::MmapBacking::Anon)
+            .unwrap();
+        for p in 0..8u64 {
+            sess.poke(
+                simx86::paging::VirtAddr(va.0 + p * simx86::paging::PAGE_SIZE),
+                p,
+            )
+            .unwrap();
+        }
+        let backlog0 = node.scrubber().backlog();
+        assert!(backlog0 > 0, "pokes must dirty tables");
+
+        // Sparse arrivals leave open-loop gaps; with donation wired the
+        // gaps retire the dirty backlog instead of idling away.
+        let mut server = NodeServer::new(&node, 0, ServerConfig::default());
+        server.donate_gaps_to_scrubber();
+        server.run(&traffic(13, 200_000, 50), |_, _| {});
+        assert!(node.scrubber().revalidated() > 0, "gaps must scrub");
+        assert!(node.scrubber().backlog() < backlog0);
     }
 
     #[test]

@@ -224,6 +224,7 @@ pub struct Cpu {
     gdt: RwLock<Gdt>,
     non_root: AtomicBool,
     ept: RwLock<Option<Arc<crate::vmx::Ept>>>,
+    lazy: RwLock<Option<Arc<crate::lazy::LazySet>>>,
     /// The TLB; the MMU locks it during translations.
     pub(crate) tlb: Mutex<Tlb>,
 }
@@ -244,6 +245,7 @@ impl Cpu {
             gdt: RwLock::new(Gdt::NATIVE),
             non_root: AtomicBool::new(false),
             ept: RwLock::new(None),
+            lazy: RwLock::new(None),
             tlb: Mutex::new(Tlb::new()),
         }
     }
@@ -445,6 +447,24 @@ impl Cpu {
     /// The active EPT, if any (the MMU consults this on every walk).
     pub fn active_ept(&self) -> Option<Arc<crate::vmx::Ept>> {
         self.ept.read().clone()
+    }
+
+    // -- lazy frame validation (Mercury fault-driven attach) -------------
+
+    /// Install or remove the lazy-validation pending set the MMU checks
+    /// on every TLB-miss walk (Mercury's fault-driven attach).  Like
+    /// [`Cpu::set_non_root`], changing the set flushes the TLB so no
+    /// cached translation can bypass a deferred frame's first-touch
+    /// validation fault.
+    #[doc(alias = "volint-privileged")]
+    pub fn set_lazy_set(&self, set: Option<Arc<crate::lazy::LazySet>>) {
+        *self.lazy.write() = set;
+        self.flush_tlb_local();
+    }
+
+    /// The registered lazy-validation pending set, if any.
+    pub fn active_lazy_set(&self) -> Option<Arc<crate::lazy::LazySet>> {
+        self.lazy.read().clone()
     }
 
     // -- halting --------------------------------------------------------

@@ -46,6 +46,7 @@ pub mod cpu;
 pub mod devices;
 pub mod fault;
 pub mod intc;
+pub mod lazy;
 pub mod machine;
 pub mod mem;
 pub mod mmu;
@@ -57,6 +58,7 @@ pub mod vmx;
 pub use cpu::{Cpu, Gate, IdtTable, InterruptSink, PrivLevel, TrapFrame};
 pub use fault::{AccessKind, Fault};
 pub use intc::InterruptController;
+pub use lazy::LazySet;
 pub use machine::{FrameAllocator, Machine, MachineConfig};
 pub use mem::{FrameNum, PhysAddr, PhysMemory};
 pub use mmu::Mmu;

@@ -38,8 +38,10 @@ pub mod page_info;
 pub mod ring;
 pub mod save;
 pub mod sched;
+pub mod scrub;
 
 pub use domain::{DomId, Domain, DOM0};
 pub use error::HvError;
 pub use hv::{Hypervisor, MmuUpdate};
 pub use page_info::{PageInfo, PageInfoTable, PageType};
+pub use scrub::BackgroundScrubber;

@@ -140,6 +140,33 @@ impl PageInfoTable {
             .count()
     }
 
+    /// All dirty frames owned by `dom` — the revalidation work-list the
+    /// attach path partitions into synchronous and deferred halves.
+    pub fn dirty_frames_for(&self, dom: DomId) -> Vec<FrameNum> {
+        self.info
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.owner == Some(dom) && r.dirty)
+            .map(|(i, _)| FrameNum(i as u32))
+            // volint::allow(SWITCH-ALLOC): the dirty work-list is bounded by the pool size and built once per attach
+            .collect()
+    }
+
+    /// Pop one dirty frame owned by `dom`, clearing its dirty bit — the
+    /// background scrubber's unit of work.  Returns `None` when the
+    /// domain's dirty set is empty.
+    pub fn take_dirty_frame_for(&self, dom: DomId) -> Option<FrameNum> {
+        let mut info = self.info.lock();
+        for (i, rec) in info.iter_mut().enumerate() {
+            if rec.owner == Some(dom) && rec.dirty {
+                rec.dirty = false;
+                return Some(FrameNum(i as u32));
+            }
+        }
+        None
+    }
+
     // -- type reference counting ---------------------------------------
 
     /// Take a type reference of kind `typ` on `frame`.

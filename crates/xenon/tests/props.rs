@@ -102,6 +102,66 @@ proptest! {
         }
     }
 
+    /// Dirty-bit traffic — native-mode marks, scrubber pops, lazy-
+    /// window drains — never perturbs the validation accounting.  This
+    /// is the invariant that makes `LazyValidate` a *strategy* rather
+    /// than a semantics change: the stripped snapshot stays
+    /// bit-identical to the pinned baseline no matter how the dirty
+    /// set churns, and a cold recompute afterwards agrees too.
+    #[test]
+    fn lazy_dirty_traffic_preserves_validation_accounting(
+        shape in proptest::collection::btree_map(
+            0usize..8,
+            proptest::collection::btree_map(0usize..16, any::<bool>(), 0..8),
+            0..4
+        ),
+        // (frame, op): op 0 = mark_dirty, 1 = scrubber-style pop of
+        // some dirty frame, 2 = targeted take_dirty (the attach path's
+        // per-frame consume).
+        ops in proptest::collection::vec((0u32..64, 0u8..3), 0..96)
+    ) {
+        let frames = 64usize;
+        let mem = PhysMemory::new(frames);
+        let cpu = Arc::new(Cpu::new(0));
+        let table = PageInfoTable::new(frames);
+        let dom = DomId(0);
+        for f in 0..frames {
+            table.set_owner(FrameNum(f as u32), Some(dom));
+        }
+        let pgd = FrameNum(1);
+        for (l2, leaves) in &shape {
+            let l1 = FrameNum(8 + *l2 as u32);
+            mem.write_pte(&cpu, pgd, *l2, Pte::new(l1.0, Pte::WRITABLE | Pte::USER)).unwrap();
+            for (slot, writable) in leaves {
+                let data = FrameNum(24 + *slot as u32);
+                let flags = if *writable { Pte::WRITABLE | Pte::USER } else { Pte::USER };
+                mem.write_pte(&cpu, l1, *slot, Pte::new(data.0, flags)).unwrap();
+            }
+        }
+
+        let strip = |v: Vec<PageInfo>| -> Vec<PageInfo> {
+            v.into_iter().map(|mut r| { r.dirty = false; r }).collect()
+        };
+
+        table.pin_l2(&cpu, &mem, pgd, dom).unwrap();
+        let baseline = strip(table.snapshot());
+
+        for (frame, op) in ops {
+            match op {
+                0 => table.mark_dirty(FrameNum(frame)),
+                1 => { table.take_dirty_frame_for(dom); }
+                _ => { table.take_dirty(FrameNum(frame)); }
+            }
+        }
+        prop_assert_eq!(&strip(table.snapshot()), &baseline);
+
+        // A cold recompute of the (untouched) tables reproduces the
+        // same accounting, so nothing the dirty traffic did can leak
+        // into what a later attach rebuilds.
+        table.recompute_for(&cpu, &mem, dom, frames, &[pgd]).unwrap();
+        prop_assert_eq!(&strip(table.snapshot()), &baseline);
+    }
+
     /// Type references never allow a writable mapping of a typed page
     /// table, under any interleaving.
     #[test]

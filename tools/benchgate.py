@@ -37,8 +37,13 @@ With `--serving` (or whenever `--results DIR` holds a full-size
 `serving_results.json`), the serving-tail sweep is gated too: the
 virtualization-inflation ratios and the absolute p99 anchors of the
 steady-virtual and switch-under-load scenarios must stay inside ~5%
-bands of the archived copies.  Quick-sized runs (`"quick": true`) are
-not comparable and are skipped with a note.
+bands of the archived copies.  On top of the relative bands, the
+switch-under-load p99 inflation has a *hard absolute ceiling* of 2.0x
+steady native (`SERVING_INFLATION_CEILINGS`): the always-on dirty
+baseline makes a mode switch a tail event comparable to an unlucky
+queueing burst, not a 16x outlier, and the gate holds that line even
+if someone re-archives a regressed run.  Quick-sized runs
+(`"quick": true`) are not comparable and are skipped with a note.
 
 Usage
 -----
@@ -65,7 +70,11 @@ MODE_SWITCH_CHECKS = [
     (("recompute",), ("recompute_on_switch",), "attach_us", 0.01, 0.05),
     (("recompute",), ("recompute_on_switch",), "detach_us", 0.01, 0.05),
     (("dirty_recompute",), ("dirty_recompute",), "attach_us", 0.01, 0.05),
-    (("dirty_recompute",), ("dirty_recompute",), "cold_attach_us", 0.01, 0.05),
+    # With the boot-time pre-cache the "cold" attach only pays for the
+    # frames the warm-up dirtied since install — a handful of tables, so
+    # the metric sits near the warm number and a small change in the
+    # warm-up's table layout moves it by whole frames.  Wider floor.
+    (("dirty_recompute",), ("dirty_recompute",), "cold_attach_us", 0.01, 0.5),
     (("dirty_recompute",), ("dirty_recompute",), "warm_attach_us", 0.01, 0.05),
     (("dirty_recompute",), ("dirty_recompute",), "detach_us", 0.01, 0.05),
     # Host-thread-timing dependent: wide band.
@@ -90,6 +99,16 @@ SERVING_INFLATION_CHECKS = [
     ("switch_under_load_p99", 0.05, 0.10),
     ("switch_under_load_p999", 0.05, 0.10),
 ]
+
+# Hard absolute ceilings on the fresh inflation ratios, independent of
+# what is archived: re-archiving a regressed run must not move these.
+# A mode switch under the always-on dirty baseline costs O(dirty) +
+# O(tables), so a switch landing under load reads as an unlucky
+# queueing burst (< 2x the steady-native p99), not the 16x full
+# recompute stall the paper's strategy produced.
+SERVING_INFLATION_CEILINGS = {
+    "switch_under_load_p99": 2.0,
+}
 
 # Absolute tail anchors: (scenario name, metric, rel_tol, abs_floor_us).
 SERVING_SCENARIO_CHECKS = [
@@ -153,10 +172,16 @@ class Gate:
 
 
 def gate_budget(gate, fresh_tl, notes):
-    """Measured phase times vs the committed static cycle budget."""
+    """Measured phase times vs the committed static cycle budget.
+
+    Every leg the timeline emits is cross-checked — the default
+    attach/detach, the recompute-on-switch anchors (`*_full`), and the
+    lazy-validate legs (`*_lazy`) — so a phase without a volint budget
+    entry cannot hide in a secondary leg.
+    """
     with open(os.path.join(REPO, "volint_budget.json")) as f:
         budget = json.load(f)["phases"]
-    for leg in ("attach", "detach"):
+    for leg in sorted(fresh_tl):
         leg_budget_sum = 0.0
         for phase, fresh_us in sorted(fresh_tl[leg]["phases_us"].items()):
             name = f"budget.{leg}.{phase}"
@@ -220,6 +245,20 @@ def gate_serving(gate, archived_sv, fresh_sv, notes):
     fresh_inf = fresh_sv["inflation_vs_steady_native_1cpu"]
     for key, rel, floor in SERVING_INFLATION_CHECKS:
         gate.check(f"serving.inflation.{key}", archived_inf[key], fresh_inf[key], rel, floor)
+
+    # Absolute ceilings are checked against the *fresh* run only — the
+    # archived copy can't grandfather a breach in.
+    for key, ceiling in SERVING_INFLATION_CEILINGS.items():
+        name = f"serving.ceiling.{key}"
+        fresh = fresh_inf[key]
+        if fresh >= ceiling:
+            gate.rows.append((name, ceiling, fresh, fresh - ceiling, 0.0, "REGRESSED"))
+            gate.regressions.append(
+                f"{name} (inflation {fresh:.2f}x breaches the hard {ceiling:.1f}x "
+                f"ceiling — a switch under load must stay a tail event)"
+            )
+        else:
+            gate.rows.append((name, ceiling, fresh, fresh - ceiling, 0.0, "ok"))
 
     archived_by = {s["name"]: s for s in archived_sv["scenarios"]}
     fresh_by = {s["name"]: s for s in fresh_sv["scenarios"]}
@@ -291,7 +330,14 @@ def main():
     else:
         gate.rows.append(("mode_switch.sharded_recompute.speedup", 1.5, speedup, speedup - 1.5, 0.0, "ok"))
 
-    for leg in ("attach", "detach"):
+    # Compare every archived timeline leg (attach/detach plus the _full
+    # and _lazy variants); a leg that vanished from the fresh run is a
+    # regression, a brand-new fresh leg is informational.
+    for leg in sorted(archived_tl):
+        if leg not in fresh_tl:
+            gate.rows.append((f"switch_timeline.{leg}", archived_tl[leg]["end_to_end_us"], float("nan"), float("nan"), 0.0, "REGRESSED"))
+            gate.regressions.append(f"switch_timeline.{leg} (leg missing from fresh results)")
+            continue
         gate.check(
             f"switch_timeline.{leg}.end_to_end_us",
             archived_tl[leg]["end_to_end_us"],
@@ -317,6 +363,11 @@ def main():
             gate.rows.append(
                 (f"switch_timeline.{leg}.{phase}", 0.0, fresh_tl[leg]["phases_us"][phase], 0.0, 0.0, "new phase")
             )
+    for leg in sorted(set(fresh_tl) - set(archived_tl)):
+        # A brand-new leg is information, not a regression.
+        gate.rows.append(
+            (f"switch_timeline.{leg}", 0.0, fresh_tl[leg]["end_to_end_us"], 0.0, 0.0, "new leg")
+        )
 
     notes = []
     gate_budget(gate, fresh_tl, notes)

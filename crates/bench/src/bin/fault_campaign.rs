@@ -23,6 +23,21 @@
 //!   answered (by reactive attach, an already-attached VMM, or an
 //!   explicit baseline/degradation path);
 //! * `--quick` (CI smoke): ≥1 recovered fault.
+//!
+//! The two passes double as the **skip-neutrality gate** (DESIGN.md
+//! §14.3): pass 1 runs with the event clock's fast-forward on, pass 2
+//! with it off, and the bit-identical record comparison proves the skip
+//! changed no accounting.  `--no-skip` forces both passes to
+//! quantum-tick.  Outside `--quick`, the wall-clock-timed passes yield
+//! a simulated-Mcycles-per-host-second entry merged into
+//! `sim_speed.json` under `"faultgen"` (gated by `tools/benchgate.py
+//! --sim-speed`); the simulated-cycle numerator is the per-scenario
+//! maximum `detected_cycle` — an archived, deterministic quantity.
+//! `--campaign` multiplies the fault counts ~77x for the nightly
+//! campaigns the skip makes affordable (EXPERIMENTS.md "Campaign scale"; hypercalls
+//! scale only 10x — each one costs a live mmap page — and the SMP
+//! scenario stays at 6, its rendezvous timeout burning ~5 wall-clock
+//! seconds by design).
 
 use faultgen::rng::SplitMix64;
 use faultgen::{FaultSpec, FaultTarget};
@@ -151,6 +166,26 @@ impl Sizing {
             spurious: 4,
             hypercalls: 8,
             smp: 0,
+        }
+    }
+
+    /// Nightly campaign: ~77x the full fault count, affordable because
+    /// the watchdog's backoff and arm deadlines fast-forward through
+    /// the event clock.  Hypercalls scale only 10x (each fault costs a
+    /// live page in the workload mmap) and the SMP-degraded scenario
+    /// stays at 6 (its rendezvous timeout burns real wall-clock by
+    /// design).
+    fn campaign() -> Sizing {
+        Sizing {
+            mem_reactive: 4_800,
+            mem_native: 1_200,
+            mem_virtual: 2_400,
+            disk: 2_400,
+            stuck: 1_200,
+            gates: 1_800,
+            spurious: 1_800,
+            hypercalls: 480,
+            smp: 6,
         }
     }
 }
@@ -609,6 +644,8 @@ fn main() {
 
     let mut seed = 7u64;
     let mut quick = false;
+    let mut campaign = false;
+    let mut no_skip = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -619,18 +656,49 @@ fn main() {
                     .expect("--seed takes an integer");
             }
             "--quick" => quick = true,
-            other => panic!("unknown argument {other:?} (use --seed N / --quick)"),
+            "--campaign" => campaign = true,
+            "--no-skip" => no_skip = true,
+            other => {
+                panic!("unknown argument {other:?} (use --seed N / --quick / --campaign / --no-skip)")
+            }
         }
     }
-    let sizing = if quick { Sizing::quick() } else { Sizing::full() };
-
-    eprintln!(
-        "fault_campaign: seed {seed}, {} planned faults ({}), two passes for determinism",
-        planned_total(&sizing),
-        if quick { "quick" } else { "full" }
+    assert!(
+        !(quick && campaign),
+        "--quick and --campaign are mutually exclusive"
     );
+    let sizing = if quick {
+        Sizing::quick()
+    } else if campaign {
+        Sizing::campaign()
+    } else {
+        Sizing::full()
+    };
+    let label = if quick {
+        "quick"
+    } else if campaign {
+        "campaign"
+    } else {
+        "full"
+    };
+
+    // Pass 1 fast-forwards the watchdog's dead time through the event
+    // clock; pass 2 quantum-ticks the same spans.  Bit-identical
+    // records are both the determinism gate and the skip-neutrality
+    // proof (DESIGN.md §14.3).
+    eprintln!(
+        "fault_campaign: seed {seed}, {} planned faults ({label}), skip-on + skip-off passes",
+        planned_total(&sizing),
+    );
+    simx86::evclock::set_default_skip(!no_skip);
+    let t1 = std::time::Instant::now();
     let (records, totals) = run_campaign(seed, &sizing);
+    let host_skip_on = t1.elapsed().as_secs_f64();
+    simx86::evclock::set_default_skip(false);
+    let t2 = std::time::Instant::now();
     let (records2, totals2) = run_campaign(seed, &sizing);
+    let host_skip_off = t2.elapsed().as_secs_f64();
+    simx86::evclock::set_default_skip(true);
     let deterministic = records == records2 && totals == totals2;
 
     // -- aggregate -------------------------------------------------------
@@ -738,6 +806,29 @@ fn main() {
     json.push_str("\n  ]\n}\n");
     std::fs::write("faultgen_results.json", &json).expect("write faultgen_results.json");
     eprintln!("wrote faultgen_results.json");
+
+    // Simulated throughput: each scenario's stream time is its last
+    // detection cycle — a deterministic, archived quantity (bed machine
+    // clocks would fold in host-timing-dependent rendezvous spin on the
+    // SMP scenario).  Quick runs are too short to be meaningful.
+    if !quick {
+        let mut per_scenario: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for r in &records {
+            let e = per_scenario.entry(r.scenario).or_insert(0);
+            *e = (*e).max(r.detected_cycle);
+        }
+        let sim_mcycles = per_scenario.values().sum::<u64>() as f64 / 1e6;
+        mercury_bench::record_sim_speed(
+            "faultgen",
+            &mercury_bench::SimSpeed {
+                sim_mcycles,
+                host_seconds_skip_on: host_skip_on,
+                host_seconds_skip_off: host_skip_off,
+                mcycles_per_host_second: sim_mcycles / host_skip_on.max(1e-9),
+                skip_speedup: host_skip_off / host_skip_on.max(1e-9),
+            },
+        );
+    }
 
     // -- gates -----------------------------------------------------------
     let mut ok = true;

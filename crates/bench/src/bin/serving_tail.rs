@@ -34,6 +34,18 @@
 //! multi-CPU beds are measured steady-state (their one setup switch
 //! lands before the traffic-start base the records are relative to).
 //!
+//! The two passes double as the **skip-neutrality gate** (DESIGN.md
+//! §14.3): pass 1 runs with the event clock's fast-forward on, pass 2
+//! with it off (quantum ticking), and the bit-identical comparison
+//! proves the skip changed no accounting.  `--no-skip` forces both
+//! passes to quantum-tick (debugging aid).  Both passes are wall-clock
+//! timed; outside `--quick` the simulated-Mcycles-per-host-second
+//! throughput and the skip speedup are merged into `sim_speed.json`
+//! under the `"serving"` key, which `tools/benchgate.py --sim-speed`
+//! gates against the archived copy.  `--campaign` raises the request
+//! counts ~100x for the nightly campaigns the skip makes affordable
+//! (EXPERIMENTS.md "Campaign scale").
+//!
 //! Emits `serving_results.json`: per-scenario tail stats (cycles and
 //! µs), switch counts and cycles charged during the traffic window
 //! (from `SwitchStats::total_{attach,detach}_cycles` deltas), and the
@@ -94,6 +106,20 @@ impl Sizing {
             cluster_requests: 600,
             fault_requests: 500,
             steady_cpus: &[1, 2],
+        }
+    }
+
+    /// Nightly campaign: ~100x the full sizing, affordable because idle
+    /// stream time fast-forwards through the event clock.  Same
+    /// scenario shapes and CPU ladder, so the tails are directly
+    /// comparable to the full run (EXPERIMENTS.md "Campaign scale").
+    fn campaign() -> Sizing {
+        Sizing {
+            steady_requests: 400_000,
+            switch_requests: 400_000,
+            cluster_requests: 300_000,
+            fault_requests: 250_000,
+            steady_cpus: &[1, 2, 4],
         }
     }
 }
@@ -484,6 +510,8 @@ fn main() {
 
     let mut seed = 11u64;
     let mut quick = false;
+    let mut campaign = false;
+    let mut no_skip = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -494,17 +522,46 @@ fn main() {
                     .expect("--seed takes an integer");
             }
             "--quick" => quick = true,
-            other => panic!("unknown argument {other:?} (use --seed N / --quick)"),
+            "--campaign" => campaign = true,
+            "--no-skip" => no_skip = true,
+            other => {
+                panic!("unknown argument {other:?} (use --seed N / --quick / --campaign / --no-skip)")
+            }
         }
     }
-    let sizing = if quick { Sizing::quick() } else { Sizing::full() };
-
-    eprintln!(
-        "serving_tail: seed {seed} ({}), two passes for determinism",
-        if quick { "quick" } else { "full" }
+    assert!(
+        !(quick && campaign),
+        "--quick and --campaign are mutually exclusive"
     );
+    let sizing = if quick {
+        Sizing::quick()
+    } else if campaign {
+        Sizing::campaign()
+    } else {
+        Sizing::full()
+    };
+    let label = if quick {
+        "quick"
+    } else if campaign {
+        "campaign"
+    } else {
+        "full"
+    };
+
+    // Pass 1 fast-forwards idle stream time through the event clock;
+    // pass 2 quantum-ticks the same spans.  Bit-identical results are
+    // both the determinism gate and the proof that skipping changed no
+    // accounting (DESIGN.md §14.3).
+    eprintln!("serving_tail: seed {seed} ({label}), skip-on + skip-off passes");
+    simx86::evclock::set_default_skip(!no_skip);
+    let t1 = std::time::Instant::now();
     let pass1 = run_suite(seed, &sizing);
+    let host_skip_on = t1.elapsed().as_secs_f64();
+    simx86::evclock::set_default_skip(false);
+    let t2 = std::time::Instant::now();
     let pass2 = run_suite(seed, &sizing);
+    let host_skip_off = t2.elapsed().as_secs_f64();
+    simx86::evclock::set_default_skip(true);
     let deterministic = pass1 == pass2;
 
     let stats: Vec<TailStats> = pass1.iter().map(|s| tail_stats(&s.records)).collect();
@@ -592,6 +649,28 @@ fn main() {
     json.push_str("\n  ]\n}\n");
     std::fs::write("serving_results.json", &json).expect("write serving_results.json");
     eprintln!("wrote serving_results.json");
+
+    // Simulated throughput: stream time covered per scenario is the
+    // last record's finish offset — a deterministic, archived quantity
+    // (machine clocks would fold in host-timing-dependent SMP
+    // rendezvous spin).  Quick runs are too short to be meaningful.
+    if !quick {
+        let sim_cycles: u64 = pass1
+            .iter()
+            .map(|s| s.records.iter().map(|r| r.finish).max().unwrap_or(0))
+            .sum();
+        let sim_mcycles = sim_cycles as f64 / 1e6;
+        mercury_bench::record_sim_speed(
+            "serving",
+            &mercury_bench::SimSpeed {
+                sim_mcycles,
+                host_seconds_skip_on: host_skip_on,
+                host_seconds_skip_off: host_skip_off,
+                mcycles_per_host_second: sim_mcycles / host_skip_on.max(1e-9),
+                skip_speedup: host_skip_off / host_skip_on.max(1e-9),
+            },
+        );
+    }
 
     // -- gates -----------------------------------------------------------
     let mut ok = true;

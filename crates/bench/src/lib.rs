@@ -22,6 +22,58 @@ use mercury_workloads::configs::{switch_with_peers, SysKind, TestBed};
 use simx86::costs::cycles_to_us;
 use std::sync::atomic::Ordering;
 
+/// One campaign binary's simulated-throughput measurement, archived in
+/// `sim_speed.json` and gated by `tools/benchgate.py --sim-speed`
+/// (DESIGN.md §14.3, EXPERIMENTS.md "Campaign scale").
+///
+/// The simulated-cycle numerator always comes from deterministic
+/// archived quantities (request record finish offsets, fault detection
+/// cycles) — never from machine clocks, whose SMP totals include
+/// host-timing-dependent rendezvous spin.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SimSpeed {
+    /// Simulated mega-cycles the suite covered (one skip-on pass).
+    pub sim_mcycles: f64,
+    /// Host seconds for the pass with event-driven time skip on.
+    pub host_seconds_skip_on: f64,
+    /// Host seconds for the pass with skip off (quantum ticking).
+    pub host_seconds_skip_off: f64,
+    /// Headline throughput: simulated Mcycles per host second, skip on.
+    pub mcycles_per_host_second: f64,
+    /// `host_seconds_skip_off / host_seconds_skip_on`: wall-clock factor
+    /// the event-driven skip buys on this suite.
+    pub skip_speedup: f64,
+}
+
+/// Merge `entry` under `key` into `sim_speed.json` in the working
+/// directory, preserving entries other binaries already wrote.  The
+/// file is small and human-diffable; nightly CI uploads it and
+/// `benchgate.py --sim-speed` compares it against the archived copy at
+/// the repo root.
+pub fn record_sim_speed(key: &str, entry: &SimSpeed) {
+    let mut root: serde_json::Map<String, serde_json::Value> =
+        std::fs::read_to_string("sim_speed.json")
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_default();
+    root.insert(
+        key.to_string(),
+        serde_json::to_value(entry).expect("serialize sim speed entry"),
+    );
+    let mut out =
+        serde_json::to_string_pretty(&serde_json::Value::Object(root)).expect("render sim_speed");
+    out.push('\n');
+    std::fs::write("sim_speed.json", out).expect("write sim_speed.json");
+    eprintln!(
+        "sim_speed.json[{key}]: {:.1} simulated Mcycles in {:.2}s host \
+         ({:.1} Mcycles/s, skip speedup {:.2}x)",
+        entry.sim_mcycles,
+        entry.host_seconds_skip_on,
+        entry.mcycles_per_host_second,
+        entry.skip_speedup,
+    );
+}
+
 /// Measured mode-switch times for one strategy.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct SwitchTimes {

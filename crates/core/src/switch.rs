@@ -8,6 +8,16 @@
 //! work happens inside the interrupt handler at PL0 (§5.1.3), and the
 //! privilege change is committed by editing the handler's return frame.
 //!
+//! Switch phases are **tick-exact**: no cycle inside the handler is
+//! ever fast-forwarded through the event clock (`simx86::evclock`) —
+//! the phases are what `switch_timeline` measures and what the static
+//! budget in `volint_budget.json` prices, so they must cost exactly
+//! what their priced operations add up to in every run.  Idle time
+//! *between* switches (retry backoffs, serving gaps, halted CPUs) may
+//! skip; the boundary is enforced structurally by volint's
+//! `SWITCH-ALLOC` rule, since the event-clock API allocates
+//! (DESIGN.md §14.2).
+//!
 //! The reference-count gate and the sub-millisecond commit, end to end:
 //!
 //! ```

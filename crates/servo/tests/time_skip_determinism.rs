@@ -1,0 +1,81 @@
+//! The event-clock fast-forward must be invisible to the serving layer
+//! (DESIGN.md §14.3): a same-seed run with skip on and a run with skip
+//! off must produce bit-identical request records — arrival, start and
+//! finish cycles, worker assignment, outcome — and identical scrubber
+//! work, because both modes charge the same cycles through the same
+//! code and differ only in how `EvClock::advance` walks an idle span.
+//!
+//! The per-clock [`EvClock::set_skip`] switch is used rather than the
+//! process-wide default so these tests stay independent of each other
+//! (and of any other test in the binary) under parallel execution.
+
+use mercury_cluster::{Node, NodeConfig};
+use mercury_servo::{generate, LoadConfig, NodeServer, RequestRecord, ServerConfig};
+use mercury_workloads::mix::CostMix;
+
+/// One full serving run on a fresh node, gaps donated to the scrubber.
+/// Returns the records plus the scrubber's revalidation count and the
+/// cycles the event clock fast-forwarded.
+fn run_once(seed: u64, cpus: usize, skip: bool) -> (Vec<RequestRecord>, u64, u64) {
+    let node = Node::launch(
+        "skiptest",
+        &NodeConfig {
+            num_cpus: cpus,
+            ..NodeConfig::default()
+        },
+    );
+    node.evclock().set_skip(skip);
+    let mut server = NodeServer::new(
+        &node,
+        0,
+        ServerConfig {
+            workers: cpus,
+            ..ServerConfig::default()
+        },
+    );
+    server.donate_gaps_to_scrubber();
+    let traffic = generate(&LoadConfig {
+        seed,
+        mean_gap_cycles: 300_000 / cpus as u64,
+        requests: 400,
+        mix: CostMix::oltp(),
+    });
+    server.run(&traffic, |_, _| {});
+    (
+        server.records().to_vec(),
+        node.scrubber().revalidated(),
+        node.evclock().cycles_skipped(),
+    )
+}
+
+#[test]
+fn records_are_bit_identical_with_skip_on_and_off() {
+    for seed in [11u64, 42, 987] {
+        let (on, scrub_on, skipped_on) = run_once(seed, 1, true);
+        let (off, scrub_off, skipped_off) = run_once(seed, 1, false);
+        assert_eq!(on, off, "seed {seed}: skip must not change a single record");
+        assert_eq!(
+            scrub_on, scrub_off,
+            "seed {seed}: gap donation must revalidate the same frames"
+        );
+        assert!(
+            skipped_on > 0,
+            "seed {seed}: the skip-on run must actually fast-forward"
+        );
+        assert_eq!(
+            skipped_off, 0,
+            "seed {seed}: the skip-off run must quantum-tick every span"
+        );
+    }
+}
+
+#[test]
+fn smp_serving_is_also_skip_neutral() {
+    // Steady-state SMP serving is simulation-deterministic (no switch
+    // during traffic), so the neutrality contract extends across CPUs:
+    // worker assignment and queueing must not shift when spans skip.
+    let (on, scrub_on, _) = run_once(7, 2, true);
+    let (off, scrub_off, _) = run_once(7, 2, false);
+    assert_eq!(on, off, "2-cpu records must be skip-invariant");
+    assert_eq!(scrub_on, scrub_off);
+}

@@ -16,7 +16,12 @@
 //! Registration mirrors the EPT hook: the switch path installs the set
 //! on each CPU ([`crate::Cpu::set_lazy_set`]), which flushes the TLB so
 //! no cached translation can bypass the first-touch check, and removes
-//! it at detach after draining the stragglers.
+//! it at detach after draining the stragglers.  Stragglers that no
+//! guest touch ever reaches are drained by the background scrubber from
+//! *donated idle cycles* — and because donation budgets are ordinary
+//! priced work, idle spans that the event clock fast-forwards
+//! ([`crate::evclock`]) charge the same revalidation cycles they would
+//! charge if walked.
 //!
 //! ```
 //! use simx86::lazy::LazySet;

@@ -23,6 +23,11 @@
 //! * A **cycle cost model** ([`costs`]) calibrated as a 3 GHz CPU
 //!   (3000 cycles = 1 µs) so that simulated latencies land in the same
 //!   regime as the paper's measurements.
+//! * An **event clock** ([`evclock`]) — the second level of simulated
+//!   time: a deterministic global queue of future deadlines that lets
+//!   idle spans fast-forward to the next scheduled event without
+//!   changing accounting.  The per-CPU cycle counters remain the source
+//!   of truth (DESIGN.md §14).
 //!
 //! Privilege is enforced: every privileged operation checks the CPU's
 //! current privilege level and returns [`Fault::GeneralProtection`] when
@@ -44,6 +49,7 @@
 pub mod costs;
 pub mod cpu;
 pub mod devices;
+pub mod evclock;
 pub mod fault;
 pub mod intc;
 pub mod lazy;
@@ -56,6 +62,7 @@ pub mod tlb;
 pub mod vmx;
 
 pub use cpu::{Cpu, Gate, IdtTable, InterruptSink, PrivLevel, TrapFrame};
+pub use evclock::{EvClock, Event, EventId, EventKind};
 pub use fault::{AccessKind, Fault};
 pub use intc::InterruptController;
 pub use lazy::LazySet;

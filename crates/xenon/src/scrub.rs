@@ -18,6 +18,15 @@
 //! the cycle charge off the switch's critical path.  A PTE write after
 //! the scrub re-marks the frame through the native VO's dirty sink.
 //!
+//! Interplay with the event clock (`simx86::evclock`, DESIGN.md §14):
+//! donation happens *before* the remainder of an idle span is
+//! fast-forwarded — the donor consumes its budget in priced
+//! [`simx86::Cpu::tick`] work, and only the cycles it leaves over are
+//! skipped.  A drained scrubber ([`BackgroundScrubber::is_idle`]) is
+//! what makes a span fully skippable; a non-empty backlog converts the
+//! front of every gap into revalidation work first, identically in
+//! both skip modes.
+//!
 //! ```
 //! use simx86::{costs, Cpu, FrameNum};
 //! use std::sync::Arc;
@@ -106,6 +115,13 @@ impl BackgroundScrubber {
         self.page_info.count_dirty_for(self.dom)
     }
 
+    /// Is the backlog empty?  An idle scrubber has no claim on donated
+    /// cycles, so the donor's whole span may fast-forward through the
+    /// event clock without losing revalidation work.
+    pub fn is_idle(&self) -> bool {
+        self.backlog() == 0
+    }
+
     /// Frames revalidated by donated idle cycles so far.
     pub fn revalidated(&self) -> u64 {
         self.revalidated.load(Ordering::Relaxed)
@@ -158,6 +174,16 @@ mod tests {
         assert_eq!(s.donate(&cpu, 100 * per), per);
         assert_eq!(s.backlog(), 0);
         assert_eq!(s.cycles_donated(), 3 * per);
+    }
+
+    #[test]
+    fn is_idle_tracks_the_backlog() {
+        let (t, s, cpu) = rig(4);
+        assert!(s.is_idle());
+        t.mark_dirty(FrameNum(2));
+        assert!(!s.is_idle());
+        s.donate(&cpu, costs::PGINFO_RECOMPUTE_PER_FRAME);
+        assert!(s.is_idle());
     }
 
     #[test]

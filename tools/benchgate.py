@@ -45,11 +45,26 @@ queueing burst, not a 16x outlier, and the gate holds that line even
 if someone re-archives a regressed run.  Quick-sized runs
 (`"quick": true`) are not comparable and are skipped with a note.
 
+Simulated-speed gate
+--------------------
+With `--sim-speed PATH` the gate runs in a dedicated mode that checks
+*only* the simulated-throughput file the campaign binaries emit
+(`sim_speed.json`, one entry per suite) against the archived copy at
+the repo root (DESIGN.md §14.3, EXPERIMENTS.md "Campaign scale").  For every suite
+present in both files, `mcycles_per_host_second` must stay above 80%
+of the archived value — the event-driven time skip is a performance
+feature, and a regression here means idle spans stopped
+fast-forwarding.  The `skip_speedup` factor must additionally stay
+≥ 1.0: the skip-on pass may never be slower than the quantum-ticking
+pass.  Suites missing from either side are skipped with a note (the
+archived file is refreshed deliberately, not by CI).
+
 Usage
 -----
     python3 tools/benchgate.py            # cargo-run both benches, compare
     python3 tools/benchgate.py --results DIR   # compare pre-generated JSONs
     python3 tools/benchgate.py --serving  # also run + gate the serving sweep
+    python3 tools/benchgate.py --sim-speed PATH  # gate only sim throughput
 
 Stdlib only; no third-party imports.
 """
@@ -115,6 +130,12 @@ SERVING_SCENARIO_CHECKS = [
     ("steady-virtual-1cpu", "p99_us", 0.05, 0.5),
     ("switch-under-load-1cpu", "p99_us", 0.05, 1.0),
 ]
+
+# Simulated-throughput gate: fresh mcycles_per_host_second below this
+# fraction of the archived value fails.  Host timing is noisy, so the
+# band is wide; what it catches is the qualitative regression where
+# idle spans stop fast-forwarding (a ~10-100x cliff, not a 10% drift).
+SIM_SPEED_MIN_FRACTION = 0.8
 
 
 def dig(obj, path):
@@ -271,6 +292,62 @@ def gate_serving(gate, archived_sv, fresh_sv, notes):
         gate.check(name, archived_by[scen][metric], fresh_by[scen][metric], rel, floor)
 
 
+def gate_sim_speed(fresh_path):
+    """Dedicated mode: gate only the simulated-throughput file.
+
+    Compares every suite present in both the fresh file and the
+    archived repo-root `sim_speed.json`.  Fails if a suite's
+    `mcycles_per_host_second` fell below ``SIM_SPEED_MIN_FRACTION`` of
+    the archived value, or if its `skip_speedup` dropped below 1.0
+    (the skip-on pass must never lose to quantum ticking).  Suites
+    missing from either side are notes, not failures.
+    """
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(os.path.join(REPO, "sim_speed.json")) as f:
+        archived = json.load(f)
+
+    regressions = []
+    print(f"{'suite'.ljust(10)} | archived Mc/s | fresh Mc/s | min Mc/s | speedup | status")
+    print(f"{'-' * 10}-|--------------:|-----------:|---------:|--------:|-------")
+    for suite in sorted(set(archived) | set(fresh)):
+        if suite not in fresh:
+            print(f"{suite.ljust(10)} | {'':>13} | {'':>10} | {'':>8} | {'':>7} | missing from fresh run (note)")
+            continue
+        if suite not in archived:
+            f_tp = fresh[suite]["mcycles_per_host_second"]
+            print(f"{suite.ljust(10)} | {'':>13} | {f_tp:10.1f} | {'':>8} | {'':>7} | new suite (archive it)")
+            continue
+        a_tp = archived[suite]["mcycles_per_host_second"]
+        f_tp = fresh[suite]["mcycles_per_host_second"]
+        speedup = fresh[suite]["skip_speedup"]
+        floor = a_tp * SIM_SPEED_MIN_FRACTION
+        status = "ok"
+        if f_tp < floor:
+            status = "REGRESSED"
+            regressions.append(
+                f"sim_speed.{suite}.mcycles_per_host_second "
+                f"({f_tp:.1f} < {SIM_SPEED_MIN_FRACTION:.0%} of archived {a_tp:.1f} "
+                f"— idle spans likely stopped fast-forwarding)"
+            )
+        if speedup < 1.0:
+            status = "REGRESSED"
+            regressions.append(
+                f"sim_speed.{suite}.skip_speedup ({speedup:.2f} < 1.0 — the "
+                f"skip-on pass lost to quantum ticking)"
+            )
+        print(
+            f"{suite.ljust(10)} | {a_tp:13.1f} | {f_tp:10.1f} | {floor:8.1f} | {speedup:7.2f} | {status}"
+        )
+
+    if regressions:
+        print(f"\nbenchgate: FAIL — {len(regressions)} sim-speed regression(s):", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)
+    print("\nbenchgate: PASS (sim-speed)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -286,7 +363,17 @@ def main():
         help="also gate the serving-tail sweep (cargo-runs the full-size "
         "serving_tail bench unless --results provides the JSON)",
     )
+    ap.add_argument(
+        "--sim-speed",
+        metavar="PATH",
+        help="gate only the simulated-throughput file at PATH against the "
+        "archived repo-root sim_speed.json, then exit",
+    )
     args = ap.parse_args()
+
+    if args.sim_speed:
+        gate_sim_speed(args.sim_speed)
+        return
 
     with open(os.path.join(REPO, "bench_results.json")) as f:
         archived_ms = json.load(f)["mode_switch"]

@@ -51,15 +51,34 @@
 //! (from `SwitchStats::total_{attach,detach}_cycles` deltas), and the
 //! headline p99/p999 inflation ratios against the steady-native anchor.
 //!
+//! **`--fleet`** runs the fleet-scale scenario instead (DESIGN.md §15):
+//! N simulated nodes (100 full/campaign, 24 quick) behind the
+//! migration-aware `FleetServer`, with live migration as a balancing
+//! action.  The timeline exercises every fleet path under live
+//! traffic: a faultgen ECC storm degrades one node through its
+//! fleet-bound watchdog and the fleet drains it to a healthy peer; a
+//! rising-temperature trend trips a health monitor's failure
+//! prediction and evacuates a second node; both re-home; then a
+//! rolling "patch Tuesday" wave virtualizes, evacuates, maintains and
+//! re-homes one rack at a time.  The same two skip-on/skip-off passes
+//! gate determinism, and `fleet_results.json` archives fleet-level
+//! p50/p99/p999, shed counts, the migration downtime distribution,
+//! evacuation makespans and wave spans — gated by
+//! `tools/benchgate.py --fleet` (zero lost requests hard).
+//!
 //! Exits non-zero if the suite was non-deterministic, any scenario lost
 //! a request, a switching scenario failed to switch, or a fault went
 //! unrecovered.
 
 use faultgen::{FaultSpec, FaultTarget};
-use mercury_cluster::{Cluster, Node, NodeConfig, Watchdog, WatchdogPolicy};
+use mercury_cluster::fleet::NodeStatus;
+use mercury_cluster::{
+    Cluster, HealthStatus, MigrationPolicy, Node, NodeConfig, SensorReading, Watchdog,
+    WatchdogPolicy,
+};
 use mercury_servo::{
-    generate, tail_stats, ClusterServer, LoadConfig, NodeServer, RequestRecord, ServerConfig,
-    TailStats,
+    generate, tail_stats, ClusterServer, FleetServer, LoadConfig, NodeServer, RequestRecord,
+    ServerConfig, TailStats, FLEET_SHED_NODE,
 };
 use mercury_workloads::configs::switch_with_peers;
 use mercury_workloads::mix::CostMix;
@@ -462,6 +481,374 @@ fn run_suite(seed: u64, sizing: &Sizing) -> Vec<ScenarioRun> {
     out
 }
 
+// --- fleet mode (DESIGN.md §15) --------------------------------------
+
+/// Fleet sizing: node count, rack width, request count.
+struct FleetSizing {
+    nodes: usize,
+    rack_size: usize,
+    requests: u32,
+}
+
+impl FleetSizing {
+    fn full() -> FleetSizing {
+        FleetSizing {
+            nodes: 100,
+            rack_size: 10,
+            requests: 20_000,
+        }
+    }
+
+    fn quick() -> FleetSizing {
+        FleetSizing {
+            nodes: 24,
+            rack_size: 6,
+            requests: 3_000,
+        }
+    }
+
+    fn campaign() -> FleetSizing {
+        FleetSizing {
+            nodes: 100,
+            rack_size: 10,
+            requests: 200_000,
+        }
+    }
+}
+
+/// Hold a rack in maintenance this long (cycles) during the wave.
+const MAINT_CYCLES: u64 = 200_000;
+
+/// Small nodes so a 100-node fleet stays within a CI runner's memory:
+/// 16 MB of simulated RAM each (the default node is 64 MB).
+fn fleet_node_config() -> NodeConfig {
+    NodeConfig {
+        num_cpus: 1,
+        mem_frames: 4 * 1024,
+        pool_frames: 1536,
+        disk_sectors: 8 * 1024,
+        fs_blocks: 512,
+        ..NodeConfig::default()
+    }
+}
+
+/// Everything one fleet pass produced; `PartialEq` is the
+/// skip-on/skip-off determinism gate.
+#[derive(Clone, PartialEq)]
+struct FleetRun {
+    records: Vec<RequestRecord>,
+    offered: u64,
+    downtimes: Vec<u64>,
+    evac_makespans: Vec<u64>,
+    wave_spans: Vec<u64>,
+    /// Reason strings from the two triggered degradations, in order.
+    degrade_reasons: Vec<String>,
+    /// Every node healthy and home again at the end?
+    healed: bool,
+}
+
+/// One fleet pass: traffic over N nodes with a watchdog-degraded
+/// evacuation, a health-predicted evacuation, both re-homings, and the
+/// rolling rack wave — all at deterministic stream offsets.
+fn run_fleet(seed: u64, sizing: &FleetSizing) -> FleetRun {
+    let cluster = Cluster::launch(sizing.nodes, &fleet_node_config());
+    let cfg = ServerConfig {
+        attach_echo_host: false,
+        ..ServerConfig::default()
+    };
+    let mut fs = FleetServer::new(&cluster, sizing.rack_size, cfg, MigrationPolicy::default());
+    let racks = fs.fleet().racks();
+
+    let traffic = generate(&LoadConfig {
+        seed,
+        mean_gap_cycles: 400_000 / sizing.nodes as u64,
+        requests: sizing.requests,
+        mix: CostMix::web(),
+    });
+    let span = traffic.last().map(|a| a.offset).unwrap_or(0);
+
+    // The two degradation victims: one by fault storm, one by health
+    // prediction.  Distinct nodes, both clear of index 0 so the
+    // least-loaded tiebreak still has its favorite.
+    let fault_node = 2usize;
+    let health_node = sizing.nodes / 2 + 1;
+    assert_ne!(fault_node, health_node);
+
+    // The watchdog for the fault-storm node, bound to the fleet view so
+    // its degradation is what routes traffic away.
+    let mut dog = Watchdog::new(
+        cluster.node(fault_node).mercury(),
+        Arc::clone(&cluster.node(fault_node).machine),
+        cluster.node(fault_node).kernel(),
+        WatchdogPolicy::default(),
+    );
+    dog.bind_fleet(Arc::clone(fs.fleet()), fault_node);
+
+    // Deterministic event offsets across the stream.
+    let fault_off = span * 15 / 100;
+    let health_off = span * 25 / 100;
+    let rehome_off = span * 45 / 100;
+    let wave_start = span * 55 / 100;
+    let wave_step = (span * 35 / 100) / racks as u64;
+
+    faultgen::reset();
+    let mut degrade_reasons = Vec::new();
+    let mut stage = 0usize;
+    let mut next_rack = 0usize;
+    fs.run(&traffic, |fs, off| {
+        if stage == 0 && off >= fault_off {
+            stage = 1;
+            // An ECC storm on the fault node: three planted bit-flips,
+            // each tripped by a sweep read and recovered through the
+            // watchdog's reactive attach.  Three scrubs in one window
+            // is the storm threshold — the watchdog degrades the node
+            // and the fleet drains it.
+            let machine = Arc::clone(&fs.nodes()[fault_node].machine);
+            let cpu = machine.boot_cpu();
+            for k in 0..3u64 {
+                faultgen::arm(vec![FaultSpec {
+                    id: 7_000 + k,
+                    due_cycle: 0,
+                    target: FaultTarget::MemWord {
+                        frame: 3_000 + k as u32,
+                        word: 17,
+                        bit: (k % 64) as u8,
+                    },
+                }]);
+                let pa = PhysAddr(((3_000 + k) << 12) + 17 * 8);
+                machine.mem.read_word(cpu, pa).expect("sweep read");
+                dog.poll(cpu);
+            }
+            assert_eq!(dog.reports().len(), 3, "storm must be detected");
+            assert!(dog.reports().iter().all(|r| r.recovered));
+            dog.mark_degraded("ECC scrub storm: 3 corrected flips in one window");
+            degrade_reasons.push(match fs.fleet().status(fault_node) {
+                NodeStatus::Degraded(r) => r,
+                other => panic!("watchdog must publish degradation, got {other:?}"),
+            });
+            let target = fs
+                .drain_node(fault_node, off, None)
+                .expect("fault-node evacuation");
+            assert!(target.is_some(), "healthy peers must absorb the drain");
+        } else if stage == 1 && off >= health_off {
+            stage = 2;
+            // A rising temperature trend past the warning line: the
+            // health monitor predicts failure (§6.5) and the fleet
+            // evacuates before the hardware dies.
+            let health = &fs.nodes()[health_node].health;
+            for temp in [72.0, 78.0, 84.0] {
+                health.inject(SensorReading {
+                    temp_c: temp,
+                    ..SensorReading::default()
+                });
+            }
+            let reason = match health.assess() {
+                HealthStatus::FailurePredicted(r) => r,
+                other => panic!("rising trend must predict failure, got {other:?}"),
+            };
+            fs.fleet()
+                .set_status(health_node, NodeStatus::Degraded(reason.clone()));
+            degrade_reasons.push(reason);
+            let target = fs
+                .drain_node(health_node, off, None)
+                .expect("health-node evacuation");
+            assert!(target.is_some());
+        } else if stage == 2 && off >= rehome_off {
+            stage = 3;
+            fs.rehome_node(fault_node, off).expect("fault-node rehome");
+            fs.rehome_node(health_node, off)
+                .expect("health-node rehome");
+        } else if stage == 3 && next_rack < racks && off >= wave_start + next_rack as u64 * wave_step
+        {
+            // The rolling wave: one rack per step across the stream.
+            fs.maintain_rack(next_rack, off, MAINT_CYCLES)
+                .expect("rack maintenance");
+            next_rack += 1;
+        }
+    });
+    faultgen::reset();
+    assert_eq!(stage, 3, "every fleet event must fire within the stream");
+    assert_eq!(next_rack, racks, "the wave must reach every rack");
+
+    let healed = (0..sizing.nodes)
+        .all(|i| fs.fleet().status(i) == NodeStatus::Healthy && !fs.is_evacuated(i));
+    let records = fs.finish();
+    FleetRun {
+        records,
+        offered: fs.offered(),
+        downtimes: fs.downtimes().to_vec(),
+        evac_makespans: fs.evac_makespans().to_vec(),
+        wave_spans: fs.wave_spans().to_vec(),
+        degrade_reasons,
+        healed,
+    }
+}
+
+/// `(min, p50, max)` of a cycle-count sample.
+fn dist(xs: &[u64]) -> (u64, u64, u64) {
+    if xs.is_empty() {
+        return (0, 0, 0);
+    }
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    (v[0], v[v.len() / 2], v[v.len() - 1])
+}
+
+/// The whole `--fleet` mode: two passes (skip on / skip off), gates,
+/// and the `fleet_results.json` archive.  Returns the process exit
+/// code.
+fn fleet_main(seed: u64, sizing: &FleetSizing, label: &str, no_skip: bool) -> i32 {
+    eprintln!(
+        "serving_tail --fleet: seed {seed} ({label}), {} nodes in racks of {}",
+        sizing.nodes, sizing.rack_size
+    );
+    simx86::evclock::set_default_skip(!no_skip);
+    let pass1 = run_fleet(seed, sizing);
+    simx86::evclock::set_default_skip(false);
+    let pass2 = run_fleet(seed, sizing);
+    simx86::evclock::set_default_skip(true);
+    let deterministic = pass1 == pass2;
+
+    let t = tail_stats(&pass1.records);
+    let fleet_sheds = pass1
+        .records
+        .iter()
+        .filter(|r| r.node == FLEET_SHED_NODE)
+        .count() as u64;
+    let lost = pass1.offered - pass1.records.len() as u64;
+    let evacuations = pass1.evac_makespans.len() as u64;
+    let (dt_min, dt_p50, dt_max) = dist(&pass1.downtimes);
+    let (mk_min, mk_p50, mk_max) = dist(&pass1.evac_makespans);
+
+    println!(
+        "fleet: {} nodes | offered {} | completed {} | shed {} (fleet-level {}) | lost {}",
+        sizing.nodes, t.offered, t.completed, t.shed, fleet_sheds, lost
+    );
+    println!(
+        "tails: p50 {:.1} µs | p99 {:.1} µs | p999 {:.1} µs",
+        cycles_to_us(t.p50_cycles),
+        cycles_to_us(t.p99_cycles),
+        cycles_to_us(t.p999_cycles),
+    );
+    println!(
+        "migrations: {} ({} evacuations) | downtime min/p50/max {:.1}/{:.1}/{:.1} µs | evac makespan p50 {:.1} µs",
+        pass1.downtimes.len(),
+        evacuations,
+        cycles_to_us(dt_min),
+        cycles_to_us(dt_p50),
+        cycles_to_us(dt_max),
+        cycles_to_us(mk_p50),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"mode\": \"{label}\",\n"));
+    json.push_str(&format!(
+        "  \"determinism\": \"{}\",\n",
+        if deterministic { "verified" } else { "FAILED" }
+    ));
+    json.push_str(&format!("  \"nodes\": {},\n", sizing.nodes));
+    json.push_str(&format!("  \"rack_size\": {},\n", sizing.rack_size));
+    json.push_str(&format!("  \"offered\": {},\n", t.offered));
+    json.push_str(&format!("  \"completed\": {},\n", t.completed));
+    json.push_str(&format!("  \"shed\": {},\n", t.shed));
+    json.push_str(&format!("  \"fleet_sheds\": {fleet_sheds},\n"));
+    json.push_str(&format!("  \"lost\": {lost},\n"));
+    json.push_str(&format!("  \"p50_cycles\": {},\n", t.p50_cycles));
+    json.push_str(&format!("  \"p99_cycles\": {},\n", t.p99_cycles));
+    json.push_str(&format!("  \"p999_cycles\": {},\n", t.p999_cycles));
+    json.push_str(&format!("  \"p50_us\": {:.3},\n", cycles_to_us(t.p50_cycles)));
+    json.push_str(&format!("  \"p99_us\": {:.3},\n", cycles_to_us(t.p99_cycles)));
+    json.push_str(&format!(
+        "  \"p999_us\": {:.3},\n",
+        cycles_to_us(t.p999_cycles)
+    ));
+    json.push_str(&format!("  \"evacuations\": {evacuations},\n"));
+    json.push_str(&format!("  \"migrations\": {},\n", pass1.downtimes.len()));
+    json.push_str(&format!(
+        "  \"downtime_cycles\": {{\"min\": {dt_min}, \"p50\": {dt_p50}, \"max\": {dt_max}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"downtime_us\": {{\"min\": {:.3}, \"p50\": {:.3}, \"max\": {:.3}}},\n",
+        cycles_to_us(dt_min),
+        cycles_to_us(dt_p50),
+        cycles_to_us(dt_max),
+    ));
+    json.push_str(&format!(
+        "  \"evac_makespan_cycles\": {{\"min\": {mk_min}, \"p50\": {mk_p50}, \"max\": {mk_max}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"wave_spans_cycles\": [{}],\n",
+        pass1
+            .wave_spans
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"degrade_reasons\": [{}]\n",
+        pass1
+            .degrade_reasons
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("}\n");
+    std::fs::write("fleet_results.json", &json).expect("write fleet_results.json");
+    eprintln!("wrote fleet_results.json");
+
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("FAIL: {msg}");
+        ok = false;
+    };
+    if !deterministic {
+        fail("two same-seed fleet passes diverged".to_string());
+    }
+    if lost != 0 {
+        fail(format!("{lost} requests lost (offered vs recorded)"));
+    }
+    if t.offered != t.completed + t.shed {
+        fail("offered != completed + shed".to_string());
+    }
+    if t.completed == 0 {
+        fail("no request completed".to_string());
+    }
+    if evacuations != 2 + sizing.nodes as u64 {
+        fail(format!(
+            "expected {} evacuations (2 triggered + full wave), saw {evacuations}",
+            2 + sizing.nodes
+        ));
+    }
+    if pass1.downtimes.len() != 2 * evacuations as usize {
+        fail(format!(
+            "every evacuation re-homes: expected {} migrations, saw {}",
+            2 * evacuations,
+            pass1.downtimes.len()
+        ));
+    }
+    if pass1.downtimes.iter().any(|&d| d == 0) {
+        fail("a migration reported zero downtime".to_string());
+    }
+    if pass1.wave_spans.iter().any(|&s| s < MAINT_CYCLES) {
+        fail("a wave span shorter than its maintenance window".to_string());
+    }
+    if pass1.degrade_reasons.len() != 2 {
+        fail("both degradations must publish a reason".to_string());
+    }
+    if !pass1.healed {
+        fail("fleet did not heal: some node not healthy and home".to_string());
+    }
+    if ok {
+        0
+    } else {
+        1
+    }
+}
+
 fn json_scenario(s: &ScenarioRun, t: &TailStats) -> String {
     format!(
         concat!(
@@ -512,6 +899,7 @@ fn main() {
     let mut quick = false;
     let mut campaign = false;
     let mut no_skip = false;
+    let mut fleet = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -524,8 +912,9 @@ fn main() {
             "--quick" => quick = true,
             "--campaign" => campaign = true,
             "--no-skip" => no_skip = true,
+            "--fleet" => fleet = true,
             other => {
-                panic!("unknown argument {other:?} (use --seed N / --quick / --campaign / --no-skip)")
+                panic!("unknown argument {other:?} (use --seed N / --quick / --campaign / --no-skip / --fleet)")
             }
         }
     }
@@ -533,6 +922,23 @@ fn main() {
         !(quick && campaign),
         "--quick and --campaign are mutually exclusive"
     );
+    if fleet {
+        let sizing = if quick {
+            FleetSizing::quick()
+        } else if campaign {
+            FleetSizing::campaign()
+        } else {
+            FleetSizing::full()
+        };
+        let label = if quick {
+            "quick"
+        } else if campaign {
+            "campaign"
+        } else {
+            "full"
+        };
+        std::process::exit(fleet_main(seed, &sizing, label, no_skip));
+    }
     let sizing = if quick {
         Sizing::quick()
     } else if campaign {

@@ -17,17 +17,25 @@
 //! [`watchdog`] driving on-demand attach for fault isolation and
 //! recovery (§6.2's device-driver-isolation use case, DESIGN.md §12),
 //! and the [`maintenance`]/[`failover`] orchestrations.
+//!
+//! Fleet-scale operation (hundreds of nodes behind a balancer) builds
+//! on the shared [`fleet`] state view and the [`migration_policy`]
+//! target selection/convergence rules; see DESIGN.md §15.
 
 #![deny(missing_docs)]
 
 pub mod failover;
+pub mod fleet;
 pub mod health;
 pub mod maintenance;
+pub mod migration_policy;
 pub mod node;
 pub mod watchdog;
 
 pub use failover::{auto_failover, FailoverReport};
+pub use fleet::{FleetState, MigrationPhase, NodeStatus};
 pub use health::{HealthMonitor, HealthStatus, SensorReading};
-pub use maintenance::{evacuate, return_home, EvacuatedGuest, MaintenanceError};
+pub use maintenance::{evacuate, return_home, EvacuatedGuest, MaintenanceError, SplitDevices};
+pub use migration_policy::MigrationPolicy;
 pub use node::{Cluster, Node, NodeConfig};
 pub use watchdog::{FaultReport, RecoveryAction, Watchdog, WatchdogPolicy};

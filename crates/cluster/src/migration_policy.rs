@@ -1,0 +1,142 @@
+//! Migration policy: who a degraded node drains to, and when pre-copy
+//! has converged.
+//!
+//! The policy is the third leg of the fleet triangle (DESIGN.md §15):
+//! the watchdog *marks* nodes in the shared [`FleetState`], the
+//! balancer *reads* it for dispatch, and this module *acts* on it —
+//! selecting an evacuation target among healthy idle peers and driving
+//! [`evacuate`](crate::maintenance::evacuate)-style migrations whose
+//! phase transitions are published back into the view, so the balancer
+//! deprioritizes a node the moment its stop-and-copy begins.
+
+use crate::fleet::{FleetState, MigrationPhase};
+use crate::maintenance::{evacuate_inner, EvacuatedGuest, MaintenanceError, RoundPlan};
+use crate::node::Node;
+use std::sync::Arc;
+
+/// Tunables for fleet-driven live migration.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationPolicy {
+    /// Pre-copy round cap before forcing stop-and-copy (Clark et al.
+    /// bound the iterations; an unconverging guest must not migrate
+    /// forever).
+    pub max_precopy_rounds: usize,
+    /// A dirty-set round shipping at most this many frames counts as
+    /// converged: stop-and-copy immediately while downtime is small.
+    pub convergence_frames: usize,
+}
+
+impl Default for MigrationPolicy {
+    fn default() -> Self {
+        MigrationPolicy {
+            max_precopy_rounds: 4,
+            convergence_frames: 8,
+        }
+    }
+}
+
+impl MigrationPolicy {
+    /// Pick the evacuation target for `source`: the least-loaded node
+    /// that is a valid migration target in `fleet`
+    /// ([`FleetState::migration_target_ok`] — healthy, no migration of
+    /// its own), excluding `source` itself and, when `exclude_rack` is
+    /// given, every node in that rack (the rolling wave never evacuates
+    /// into the rack it is about to take down).  `load` supplies the
+    /// balancer's `(queued, busy_cycles)` signal per node; ties break
+    /// to the lowest index, keeping selection deterministic.
+    pub fn select_target(
+        &self,
+        fleet: &FleetState,
+        source: usize,
+        exclude_rack: Option<usize>,
+        load: impl Fn(usize) -> (usize, u64),
+    ) -> Option<usize> {
+        let mut best: Option<(usize, u64, usize)> = None;
+        for i in 0..fleet.len() {
+            if i == source || !fleet.migration_target_ok(i) {
+                continue;
+            }
+            if exclude_rack == Some(fleet.rack_of(i)) {
+                continue;
+            }
+            let (q, b) = load(i);
+            let key = (q, b, i);
+            if best.is_none_or(|k| key < k) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Evacuate `source_node`'s OS to `target_node`, publishing each
+    /// migration phase of fleet node `source_idx` into `fleet` as it
+    /// happens (pre-copy → stop-and-copy → idle), with rounds governed
+    /// by this policy's convergence heuristic.  On success the caller
+    /// marks `source_idx` evacuated; on failure the node's phase is
+    /// still reset so a degraded node cannot wedge the balancer.
+    pub fn evacuate_tracked(
+        &self,
+        source_node: &Arc<Node>,
+        target_node: &Arc<Node>,
+        fleet: &FleetState,
+        source_idx: usize,
+    ) -> Result<EvacuatedGuest, MaintenanceError> {
+        let result = evacuate_inner(
+            source_node,
+            target_node,
+            RoundPlan::Converge {
+                max: self.max_precopy_rounds,
+                threshold: self.convergence_frames,
+            },
+            &mut |phase| fleet.set_phase(source_idx, phase),
+        );
+        fleet.set_phase(source_idx, MigrationPhase::Idle);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::NodeStatus;
+    use crate::node::{Cluster, NodeConfig};
+
+    #[test]
+    fn target_selection_prefers_least_loaded_healthy_peers() {
+        let fleet = FleetState::new(6, 3);
+        let policy = MigrationPolicy::default();
+        // Node 1 is busy, node 2 mid-migration, node 3 degraded.
+        fleet.set_phase(2, MigrationPhase::PreCopy);
+        fleet.set_status(3, NodeStatus::Degraded("hot".into()));
+        let load = |i: usize| if i == 1 { (5, 1_000) } else { (0, 0) };
+
+        // Least-loaded healthy idle peer wins; 2 and 3 are skipped.
+        assert_eq!(policy.select_target(&fleet, 0, None, load), Some(4));
+        // Excluding rack 1 (nodes 3..=5) leaves only the busy node 1.
+        assert_eq!(policy.select_target(&fleet, 0, Some(1), load), Some(1));
+        // Excluding both racks leaves nothing.
+        fleet.set_status(1, NodeStatus::Draining);
+        fleet.set_status(4, NodeStatus::Evacuated);
+        fleet.set_status(5, NodeStatus::Maintenance);
+        assert_eq!(policy.select_target(&fleet, 0, None, load), None);
+    }
+
+    #[test]
+    fn tracked_evacuation_publishes_phases_and_resets() {
+        let cluster = Cluster::launch(2, &NodeConfig::default());
+        let fleet = FleetState::new(2, 1);
+        let policy = MigrationPolicy::default();
+
+        let guest = policy
+            .evacuate_tracked(cluster.node(0), cluster.node(1), &fleet, 0)
+            .unwrap();
+        // Convergence: a quiet guest never needs the full round cap.
+        assert!(guest.report.rounds.len() <= policy.max_precopy_rounds + 1);
+        assert_eq!(
+            fleet.phase(0),
+            MigrationPhase::Idle,
+            "phase must reset after the migration completes"
+        );
+        assert!(guest.report.total_frames > 0);
+    }
+}

@@ -26,6 +26,7 @@
 //!   natively instead.  [`FaultReport::degraded`] records this, and
 //!   [`mercury::SwitchStats::rendezvous_failures`] counts it.
 
+use crate::fleet::{FleetState, NodeStatus};
 use faultgen::{FaultClass, FaultSignal, FaultTarget};
 use mercury::rendezvous::RendezvousError;
 use mercury::{ExecMode, Mercury, SwitchError, SwitchOutcome};
@@ -148,6 +149,8 @@ pub struct Watchdog {
     /// Sticky: a rendezvous timed out; stop requesting attaches.
     degraded: bool,
     reports: Vec<FaultReport>,
+    /// Shared fleet view + this node's index in it, when fleet-bound.
+    fleet: Option<(Arc<FleetState>, usize)>,
 }
 
 impl Watchdog {
@@ -167,6 +170,28 @@ impl Watchdog {
             attached_by_us: false,
             degraded: false,
             reports: Vec::new(),
+            fleet: None,
+        }
+    }
+
+    /// Bind this watchdog to the shared fleet view as node `index`:
+    /// from now on a sticky degradation (or an explicit
+    /// [`mark_degraded`](Watchdog::mark_degraded)) is published as
+    /// [`NodeStatus::Degraded`] so the balancer routes away and the
+    /// migration policy can start draining the node.
+    pub fn bind_fleet(&mut self, fleet: Arc<FleetState>, index: usize) {
+        self.fleet = Some((fleet, index));
+    }
+
+    /// Degrade this node: sticky native-only recovery, published to the
+    /// bound fleet view (if any).  Called internally on rendezvous
+    /// timeouts; callers use it for health-signal degradations (rising
+    /// temperature trend, fault storms) that the watchdog itself cannot
+    /// see.
+    pub fn mark_degraded(&mut self, reason: &str) {
+        self.degraded = true;
+        if let Some((fleet, index)) = &self.fleet {
+            fleet.set_status(*index, NodeStatus::Degraded(reason.to_string()));
         }
     }
 
@@ -276,12 +301,12 @@ impl Watchdog {
                 // recover natively from here on (documented degradation
                 // path, DESIGN.md §12.4).
                 Err(SwitchError::Rendezvous(RendezvousError::Timeout)) => {
-                    self.degraded = true;
+                    self.mark_degraded("attach rendezvous timeout");
                     merctrace::counter!(cpu.id, "watchdog.degraded", 1, cpu.cycles());
                     break;
                 }
                 Err(_) => {
-                    self.degraded = true;
+                    self.mark_degraded("attach failed");
                     merctrace::counter!(cpu.id, "watchdog.degraded", 1, cpu.cycles());
                     break;
                 }
@@ -394,5 +419,21 @@ mod tests {
         dog.end_window(cpu);
         assert_eq!(node.mercury().mode(), ExecMode::Native);
         faultgen::reset();
+    }
+
+    #[test]
+    fn degradation_is_published_to_the_bound_fleet() {
+        let node = Node::launch("n0", &NodeConfig::default());
+        let mut dog = dog_for(&node, WatchdogPolicy::default());
+        let fleet = FleetState::new(3, 3);
+        dog.bind_fleet(Arc::clone(&fleet), 1);
+        assert_eq!(fleet.status(1), NodeStatus::Healthy);
+        dog.mark_degraded("temperature trend rising");
+        assert!(dog.degraded());
+        assert_eq!(
+            fleet.status(1),
+            NodeStatus::Degraded("temperature trend rising".into())
+        );
+        assert_eq!(fleet.status(0), NodeStatus::Healthy, "only the bound node");
     }
 }

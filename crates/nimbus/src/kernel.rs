@@ -1775,6 +1775,14 @@ impl Kernel {
             p.aspace.translate(frame_map);
         }
 
+        // The disk travelled separately (storage pre-copy); clean cache
+        // entries must be re-read from the migrated platter so any
+        // storage-level divergence surfaces instead of being masked by
+        // stale cached copies.  Dirty blocks are the guest's unsynced
+        // data and travel with the image.
+        let mut vfs = image.vfs;
+        vfs.cache.drop_clean();
+
         let pv: Arc<dyn PvOps> = match &mode {
             BootMode::Bare => crate::paravirt::BareOps::new(Arc::clone(&machine)),
             BootMode::Guest { hv, dom } => {
@@ -1818,7 +1826,7 @@ impl Kernel {
                     pipes: image.pipes,
                     next_pipe: image.next_pipe,
                     socks: image.socks,
-                    vfs: image.vfs,
+                    vfs,
                     programs,
                     next_pid: image.next_pid,
                     frozen: false,

@@ -59,11 +59,13 @@
 #![deny(missing_docs)]
 
 pub mod balance;
+pub mod fleet;
 pub mod loadgen;
 pub mod sched;
 pub mod stats;
 
 pub use balance::ClusterServer;
+pub use fleet::{FleetServer, FLEET_SHED_NODE};
 pub use loadgen::{generate, Arrival, LoadConfig};
 pub use sched::{NodeServer, Outcome, RequestRecord, ServerConfig};
 pub use stats::{tail_stats, TailStats};

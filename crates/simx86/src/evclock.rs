@@ -119,6 +119,11 @@ pub enum EventKind {
     ScrubBudget,
     /// A planted fault's due-cycle (faultgen arm deadlines).
     FaultDue,
+    /// A live-migration pre-copy round deadline: while a migration is
+    /// in flight, its next round is a scheduled event so the time skip
+    /// cannot fast-forward past it (the round must run, scan dirty
+    /// bits, and re-arm before idle spans may collapse).
+    MigrationRound,
     /// Anything else.
     Other,
 }

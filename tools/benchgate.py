@@ -59,12 +59,31 @@ fast-forwarding.  The `skip_speedup` factor must additionally stay
 pass.  Suites missing from either side are skipped with a note (the
 archived file is refreshed deliberately, not by CI).
 
+Fleet gate
+----------
+With `--fleet PATH` the gate runs in a dedicated mode over the
+fleet-scale serving run (`serving_tail --fleet`, DESIGN.md §15).  The
+fresh `fleet_results.json` at PATH must satisfy hard invariants that no
+archive can grandfather away: **zero lost requests** (every offered
+request is accounted as completed or shed — a request that vanished
+mid-migration is the bug this gate exists to catch), two-pass
+determinism `"verified"`, total accounting (`offered == completed +
+shed`), a hard ceiling on the worst migration downtime, and a hard
+absolute ceiling on the fleet p999.  On top of the invariants, the
+tails and median downtime are banded against the archived repo-root
+`fleet_results.json` — unless the archived copy is marked
+`"provisional": true` (hand-written before the first real run), in
+which case the comparison is skipped with a loud note to re-archive
+from a real run.  Runs of different sizing (`mode` mismatch) are not
+compared either.
+
 Usage
 -----
     python3 tools/benchgate.py            # cargo-run both benches, compare
     python3 tools/benchgate.py --results DIR   # compare pre-generated JSONs
     python3 tools/benchgate.py --serving  # also run + gate the serving sweep
     python3 tools/benchgate.py --sim-speed PATH  # gate only sim throughput
+    python3 tools/benchgate.py --fleet PATH      # gate only the fleet run
 
 Stdlib only; no third-party imports.
 """
@@ -136,6 +155,28 @@ SERVING_SCENARIO_CHECKS = [
 # band is wide; what it catches is the qualitative regression where
 # idle spans stop fast-forwarding (a ~10-100x cliff, not a 10% drift).
 SIM_SPEED_MIN_FRACTION = 0.8
+
+# Fleet-gate hard ceilings (absolute, fresh-run only — an archived
+# regression cannot grandfather a breach in).  The per-node serving
+# p999 sits near 20 µs; a fleet request that ever waits out a
+# stop-and-copy or a storage copy would land in the millisecond range,
+# so 1 ms catches the qualitative failure (migration blocking the
+# serving path) with wide headroom over queueing noise.  The downtime
+# ceiling bounds the worst single stop-and-copy + storage-copy window;
+# a pre-copy that stopped converging blows through it.
+FLEET_P999_CEILING_US = 1_000.0
+FLEET_DOWNTIME_CEILING_US = 50_000.0
+
+# Relative bands against the archived fleet run (same sizing only):
+# (key path, rel_tol, abs_floor_us).  Tails are simulation-
+# deterministic per seed, but code changes legitimately move them;
+# the band flags step changes, not drift.
+FLEET_ARCHIVE_CHECKS = [
+    (("p50_us",), 0.25, 2.0),
+    (("p99_us",), 0.25, 2.0),
+    (("p999_us",), 0.25, 5.0),
+    (("downtime_us", "p50"), 0.50, 5.0),
+]
 
 
 def dig(obj, path):
@@ -348,6 +389,107 @@ def gate_sim_speed(fresh_path):
     print("\nbenchgate: PASS (sim-speed)")
 
 
+def gate_fleet(fresh_path):
+    """Dedicated mode: gate the fleet-scale serving run.
+
+    Hard invariants on the fresh `fleet_results.json` first (zero lost
+    requests, verified determinism, total accounting, downtime and
+    p999 ceilings), then relative bands against the archived repo-root
+    copy when it is a real (non-provisional) run of the same sizing.
+    """
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    regressions = []
+    notes = []
+    rows = []
+
+    def invariant(name, ok_cond, detail):
+        rows.append((name, detail, "ok" if ok_cond else "REGRESSED"))
+        if not ok_cond:
+            regressions.append(f"fleet.{name} ({detail})")
+
+    invariant(
+        "lost",
+        fresh["lost"] == 0,
+        f"{fresh['lost']} requests lost — every offered request must be "
+        f"accounted completed or shed across migrations",
+    )
+    invariant(
+        "determinism",
+        fresh["determinism"] == "verified",
+        f"two-pass check reported {fresh['determinism']!r}, expected 'verified'",
+    )
+    invariant(
+        "accounting",
+        fresh["offered"] == fresh["completed"] + fresh["shed"],
+        f"offered {fresh['offered']} vs completed {fresh['completed']} "
+        f"+ shed {fresh['shed']}",
+    )
+    invariant(
+        "downtime_ceiling",
+        fresh["downtime_us"]["max"] <= FLEET_DOWNTIME_CEILING_US,
+        f"worst migration downtime {fresh['downtime_us']['max']:.1f} µs vs "
+        f"hard ceiling {FLEET_DOWNTIME_CEILING_US:.0f} µs",
+    )
+    invariant(
+        "p999_ceiling",
+        fresh["p999_us"] <= FLEET_P999_CEILING_US,
+        f"fleet p999 {fresh['p999_us']:.1f} µs vs hard ceiling "
+        f"{FLEET_P999_CEILING_US:.0f} µs — a tail in the millisecond range "
+        f"means migration blocked the serving path",
+    )
+
+    archived_path = os.path.join(REPO, "fleet_results.json")
+    archived = None
+    if not os.path.exists(archived_path):
+        notes.append("fleet: no archived fleet_results.json — band comparison skipped")
+    else:
+        with open(archived_path) as f:
+            archived = json.load(f)
+        if archived.get("provisional"):
+            notes.append(
+                "fleet: archived fleet_results.json is PROVISIONAL (hand-written "
+                "placeholder) — band comparison skipped; re-archive it from a real "
+                "`serving_tail --fleet` run"
+            )
+            archived = None
+        elif archived.get("mode") != fresh.get("mode"):
+            notes.append(
+                f"fleet: fresh run is {fresh.get('mode')!r}-sized but archive is "
+                f"{archived.get('mode')!r}-sized — band comparison skipped"
+            )
+            archived = None
+
+    gate = Gate()
+    if archived is not None:
+        for path, rel, floor in FLEET_ARCHIVE_CHECKS:
+            gate.check(f"fleet.{'.'.join(path)}", dig(archived, path), dig(fresh, path), rel, floor)
+        regressions.extend(gate.regressions)
+
+    w = max(len(r[0]) for r in rows)
+    print(f"{'invariant'.ljust(w)} | status    | detail")
+    print(f"{'-' * w}-|-----------|-------")
+    for name, detail, status in rows:
+        print(f"{name.ljust(w)} | {status.ljust(9)} | {detail}")
+    if gate.rows:
+        gate.report()
+
+    for note in notes:
+        print(f"\nbenchgate: note — {note}")
+    if gate.improvements:
+        print(
+            f"\nbenchgate: {len(gate.improvements)} fleet metric(s) improved beyond "
+            f"their band — consider re-archiving fleet_results.json"
+        )
+    if regressions:
+        print(f"\nbenchgate: FAIL — {len(regressions)} fleet regression(s):", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)
+    print("\nbenchgate: PASS (fleet)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -369,10 +511,20 @@ def main():
         help="gate only the simulated-throughput file at PATH against the "
         "archived repo-root sim_speed.json, then exit",
     )
+    ap.add_argument(
+        "--fleet",
+        metavar="PATH",
+        help="gate only the fleet-scale serving results at PATH (hard "
+        "zero-lost/determinism/ceiling invariants, plus bands against the "
+        "archived repo-root fleet_results.json when comparable), then exit",
+    )
     args = ap.parse_args()
 
     if args.sim_speed:
         gate_sim_speed(args.sim_speed)
+        return
+    if args.fleet:
+        gate_fleet(args.fleet)
         return
 
     with open(os.path.join(REPO, "bench_results.json")) as f:

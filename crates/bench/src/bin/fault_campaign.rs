@@ -5,8 +5,11 @@
 //! memory bit-flips under a scrubber sweep (native / virtual / reactive
 //! modes), a wedged disk plus stuck interrupt lines, corrupted IDT
 //! descriptors plus spurious interrupts, failed/slow hypercalls under a
-//! paravirtual workload, and an SMP scenario whose peer CPU never
-//! reaches the rendezvous (the documented degradation path).  Every
+//! paravirtual workload, VMM-state corruption answered by live-update
+//! to a pristine successor (`update-on-suspicion`, including one
+//! deliberately rolled-back attempt), and an SMP scenario whose peer
+//! CPU never reaches the rendezvous (the documented degradation path).
+//! Every
 //! campaign is a pure function of `--seed`: the whole run executes
 //! twice in-process and the per-fault records must be bit-identical
 //! before anything is archived.
@@ -124,7 +127,8 @@ fn snapshot(bed: &TestBed) -> SwitchTotals {
 }
 
 /// Scenario sizing: (reactive mem, native mem, virtual mem, disk
-/// wedges, stuck lines, corrupt gates, spurious, hypercalls, smp).
+/// wedges, stuck lines, corrupt gates, spurious, hypercalls, vmm
+/// corruptions, smp).
 struct Sizing {
     mem_reactive: u64,
     mem_native: u64,
@@ -134,6 +138,7 @@ struct Sizing {
     gates: u64,
     spurious: u64,
     hypercalls: u64,
+    vmm: u64,
     smp: u64,
 }
 
@@ -148,6 +153,7 @@ impl Sizing {
             gates: 18,
             spurious: 18,
             hypercalls: 48,
+            vmm: 12,
             smp: 6,
         }
     }
@@ -165,6 +171,7 @@ impl Sizing {
             gates: 4,
             spurious: 4,
             hypercalls: 8,
+            vmm: 3,
             smp: 0,
         }
     }
@@ -185,6 +192,7 @@ impl Sizing {
             gates: 1_800,
             spurious: 1_800,
             hypercalls: 480,
+            vmm: 240,
             smp: 6,
         }
     }
@@ -532,6 +540,83 @@ fn scenario_hypercall(
     totals.absorb(&bed, base);
 }
 
+/// Latent corruption inside the running VMM's own frame accounting,
+/// answered by the watchdog's `update-on-suspicion` policy (DESIGN.md
+/// §16): each fault wipes one frame record behind the guest's back at a
+/// hypervisor service point, and the recovery is a *live-update* to a
+/// pristine, newer-versioned successor — no detach, guest memory and
+/// file state untouched, VMM version marching v1 → v2 → … as the
+/// campaign proceeds.  When the sizing allows, the second-to-last fault
+/// is handled under an injected handshake abort, so its update attempt
+/// rolls back (incumbent keeps the machine, fault stays outstanding);
+/// the last fault's *completed* update then clears the whole suspicion
+/// backlog — one rebuilt table heals every wiped record.
+fn scenario_vmm_update(
+    records: &mut Vec<Record>,
+    totals: &mut SwitchTotals,
+    rng: &mut SplitMix64,
+    count: u64,
+) {
+    if count == 0 {
+        return;
+    }
+    let bed = TestBed::build(SysKind::MV, 1);
+    let base = snapshot(&bed);
+    let cpu = bed.machine.boot_cpu();
+    let mercury = Arc::clone(bed.mercury.as_ref().expect("MV bed has mercury"));
+    let mut dog = watchdog_for(&bed, WatchdogPolicy::default());
+    let mut taken = 0;
+    let version_before = mercury.hv_version();
+
+    faultgen::reset();
+    let sess = bed.session(0);
+    let va = sess
+        .mmap(count + 1, nimbus::mm::Prot::RW, nimbus::kernel::MmapBacking::Anon)
+        .expect("mmap workload buffer");
+    for i in 0..count {
+        // One suspicion at a time: every fault earns its own update.
+        faultgen::arm(vec![FaultSpec {
+            id: 6_000 + i,
+            due_cycle: 0,
+            target: FaultTarget::VmmState {
+                cpu: 0,
+                frame: 8 + rng.below(4_096) as u32,
+            },
+        }]);
+        let rollback_leg = count >= 2 && i == count - 2;
+        if rollback_leg {
+            mercury.inject_update_abort(Some(mercury::LiveUpdatePhase::Handshake));
+        }
+        // A page-table update hypercall is the hypervisor service point
+        // the corruption lands on.
+        sess.poke(simx86::VirtAddr(va.0 + i * 4096), i).expect("poke");
+        dog.poll(cpu);
+        collect(records, &dog, &mut taken, "vmm-update", "virtual", |_| {
+            Answer::AlreadyVirtual
+        });
+        assert_eq!(sess.peek(simx86::VirtAddr(va.0 + i * 4096)).unwrap(), i);
+        if rollback_leg {
+            assert_eq!(
+                faultgen::outstanding(),
+                1,
+                "rolled-back update leaves its fault outstanding"
+            );
+        }
+    }
+    assert_eq!(
+        faultgen::outstanding(),
+        0,
+        "a completed update clears the whole suspicion backlog"
+    );
+    assert!(
+        mercury.hv_version() > version_before,
+        "live-updates must advance the VMM version"
+    );
+    dog.end_window(cpu);
+    faultgen::reset();
+    totals.absorb(&bed, base);
+}
+
 /// Two CPUs, and the peer never reaches a rendezvous service point: the
 /// attach times out once, the watchdog goes sticky-degraded, and every
 /// fault is recovered natively.  This is the documented degradation
@@ -612,6 +697,7 @@ fn run_campaign(seed: u64, sizing: &Sizing) -> (Vec<Record>, SwitchTotals) {
     scenario_device(&mut records, &mut totals, &mut rng, sizing.disk, sizing.stuck);
     scenario_control_plane(&mut records, &mut totals, &mut rng, sizing.gates, sizing.spurious);
     scenario_hypercall(&mut records, &mut totals, &mut rng, sizing.hypercalls);
+    scenario_vmm_update(&mut records, &mut totals, &mut rng, sizing.vmm);
     if sizing.smp > 0 {
         scenario_smp_degraded(&mut records, &mut totals, &mut rng, sizing.smp);
     }
@@ -627,6 +713,7 @@ fn planned_total(s: &Sizing) -> u64 {
         + s.gates
         + s.spurious
         + s.hypercalls
+        + s.vmm
         + s.smp
 }
 

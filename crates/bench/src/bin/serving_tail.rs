@@ -18,7 +18,13 @@
 //!   second variant;
 //! * **fault-campaign-under-load** — seeded memory bit-flips injected
 //!   beneath live traffic, detected by sweep reads, answered by the
-//!   watchdog's reactive attach (and detach at window end).
+//!   watchdog's reactive attach (and detach at window end);
+//! * **update-under-load** (with `--live-update`) — a uniprocessor
+//!   node held virtual, rolling its hypervisor v1→v2→… on the switch
+//!   cadence while traffic keeps arriving (DESIGN.md §16): the update
+//!   cost lands as queueing, and the `update_under_load_p99` inflation
+//!   ratio is gated by `tools/benchgate.py` against a hard 2.0x
+//!   ceiling, same as a mode switch.
 //!
 //! Every server donates its open-loop gaps to the node's background
 //! scrubber (`NodeServer::donate_gaps_to_scrubber`): while the node is
@@ -60,7 +66,12 @@
 //! rising-temperature trend trips a health monitor's failure
 //! prediction and evacuates a second node; both re-home; then a
 //! rolling "patch Tuesday" wave virtualizes, evacuates, maintains and
-//! re-homes one rack at a time.  The same two skip-on/skip-off passes
+//! re-homes one rack at a time.  With `--live-update` a rolling
+//! hypervisor live-update wave
+//! (`FleetServer::patch_tuesday_live_update`) follows: every node
+//! rolls v1→v2 in place, no guest drained, and the run fails unless
+//! the fleet's weakest-link version converges on 2.  The same two
+//! skip-on/skip-off passes
 //! gate determinism, and `fleet_results.json` archives fleet-level
 //! p50/p99/p999, shed counts, the migration downtime distribution,
 //! evacuation makespans and wave spans — gated by
@@ -93,6 +104,11 @@ const SWITCH_PERIOD: u64 = 3_000_000;
 
 /// Inject one fault every this many cycles in the fault scenario.
 const FAULT_PERIOD: u64 = 1_500_000;
+
+/// Roll the hypervisor forward every this many cycles in the
+/// live-update scenario (same cadence as the mode switches, so the two
+/// tails are directly comparable).
+const UPDATE_PERIOD: u64 = 3_000_000;
 
 /// Detach (end the watchdog's holding window) every this many cycles.
 const WINDOW_PERIOD: u64 = 6_000_000;
@@ -150,6 +166,9 @@ struct SwitchSnap {
     detaches: u64,
     attach_cycles: u64,
     detach_cycles: u64,
+    /// Completed hv-to-hv live-updates (DESIGN.md §16).
+    updates: u64,
+    update_cycles: u64,
     /// Frames the background scrubber revalidated out of open-loop
     /// serving gaps (native mode only) — each one shaved off the next
     /// attach's dirty set.
@@ -164,6 +183,8 @@ fn snap(node: &Node) -> SwitchSnap {
         detaches: s.detaches.load(Relaxed),
         attach_cycles: s.total_attach_cycles.load(Relaxed),
         detach_cycles: s.total_detach_cycles.load(Relaxed),
+        updates: s.live_updates.load(Relaxed),
+        update_cycles: s.total_update_cycles.load(Relaxed),
         scrubbed: node.scrubber().revalidated(),
     }
 }
@@ -175,6 +196,8 @@ fn delta(node: &Node, base: SwitchSnap) -> SwitchSnap {
         detaches: s.detaches - base.detaches,
         attach_cycles: s.attach_cycles - base.attach_cycles,
         detach_cycles: s.detach_cycles - base.detach_cycles,
+        updates: s.updates - base.updates,
+        update_cycles: s.update_cycles - base.update_cycles,
         scrubbed: s.scrubbed - base.scrubbed,
     }
 }
@@ -278,6 +301,50 @@ fn scenario_switch_under_load(seed: u64, requests: u32) -> ScenarioRun {
     ScenarioRun {
         name: "switch-under-load-1cpu".to_string(),
         mode: "switching",
+        cpus: 1,
+        nodes: 1,
+        mix: "oltp",
+        records: server.records().to_vec(),
+        switches: delta(&node, base),
+        faults_recovered: 0,
+    }
+}
+
+/// Uniprocessor node held virtual, rolling its hypervisor forward on a
+/// fixed cadence while open-loop traffic keeps arriving (DESIGN.md
+/// §16): the kernel never leaves virtual mode, so the whole update —
+/// handshake, cold successor rebuild, commit — lands as queueing in
+/// the tail, never as downtime.
+fn scenario_update_under_load(seed: u64, requests: u32) -> ScenarioRun {
+    let node = Node::launch("bench", &node_config(1));
+    let mercury = node.mercury();
+    // The one setup switch, before the traffic-start base.
+    switch_with_peers(&node.machine, &mercury, true);
+    let mut server = NodeServer::new(&node, 0, ServerConfig::default());
+    server.donate_gaps_to_scrubber();
+    let traffic = oltp_traffic(seed, 1, requests);
+    let base = snap(&node);
+    let mut next = UPDATE_PERIOD;
+    server.run(&traffic, |srv, off| {
+        while off >= next {
+            let cpu = srv.node().machine.boot_cpu();
+            let succ = xenon::Hypervisor::warm_up_versioned(
+                &srv.node().machine,
+                mercury.hv_version() + 1,
+            );
+            mercury.stage_update(succ).expect("stage update under load");
+            let out = mercury.live_update(cpu).expect("live-update under load");
+            assert!(
+                matches!(out, mercury::SwitchOutcome::Completed { .. }),
+                "UP live-update must complete: {out:?}"
+            );
+            next += UPDATE_PERIOD;
+        }
+    });
+    assert!(mercury.hv_version() > 1, "the cadence must roll versions");
+    ScenarioRun {
+        name: "update-under-load-1cpu".to_string(),
+        mode: "updating",
         cpus: 1,
         nodes: 1,
         mix: "oltp",
@@ -465,8 +532,8 @@ fn scenario_fault_under_load(seed: u64, requests: u32) -> ScenarioRun {
     }
 }
 
-/// One full suite pass: a pure function of `seed`.
-fn run_suite(seed: u64, sizing: &Sizing) -> Vec<ScenarioRun> {
+/// One full suite pass: a pure function of `(seed, live_update)`.
+fn run_suite(seed: u64, sizing: &Sizing, live_update: bool) -> Vec<ScenarioRun> {
     let mut out = Vec::new();
     for &cpus in sizing.steady_cpus {
         out.push(scenario_steady(seed, cpus, false, sizing.steady_requests));
@@ -475,6 +542,9 @@ fn run_suite(seed: u64, sizing: &Sizing) -> Vec<ScenarioRun> {
         out.push(scenario_steady(seed, cpus, true, sizing.steady_requests));
     }
     out.push(scenario_switch_under_load(seed, sizing.switch_requests));
+    if live_update {
+        out.push(scenario_update_under_load(seed, sizing.switch_requests));
+    }
     out.push(scenario_cluster(seed, sizing.cluster_requests, false));
     out.push(scenario_cluster(seed, sizing.cluster_requests, true));
     out.push(scenario_fault_under_load(seed, sizing.fault_requests));
@@ -545,12 +615,19 @@ struct FleetRun {
     degrade_reasons: Vec<String>,
     /// Every node healthy and home again at the end?
     healed: bool,
+    /// The fleet's weakest-link hypervisor version at the end: 1
+    /// normally, 2 after a `--live-update` rolling wave converged.
+    hv_version_min: u32,
 }
 
 /// One fleet pass: traffic over N nodes with a watchdog-degraded
 /// evacuation, a health-predicted evacuation, both re-homings, and the
-/// rolling rack wave — all at deterministic stream offsets.
-fn run_fleet(seed: u64, sizing: &FleetSizing) -> FleetRun {
+/// rolling rack wave — all at deterministic stream offsets.  With
+/// `live_update` a hypervisor live-update wave
+/// ([`FleetServer::patch_tuesday_live_update`]) follows the
+/// maintenance wave: every node rolls v1→v2 in place, no guest
+/// drained.
+fn run_fleet(seed: u64, sizing: &FleetSizing, live_update: bool) -> FleetRun {
     let cluster = Cluster::launch(sizing.nodes, &fleet_node_config());
     let cfg = ServerConfig {
         attach_echo_host: false,
@@ -590,6 +667,7 @@ fn run_fleet(seed: u64, sizing: &FleetSizing) -> FleetRun {
     let rehome_off = span * 45 / 100;
     let wave_start = span * 55 / 100;
     let wave_step = (span * 35 / 100) / racks as u64;
+    let update_off = span * 95 / 100;
 
     faultgen::reset();
     let mut degrade_reasons = Vec::new();
@@ -664,10 +742,30 @@ fn run_fleet(seed: u64, sizing: &FleetSizing) -> FleetRun {
             fs.maintain_rack(next_rack, off, MAINT_CYCLES)
                 .expect("rack maintenance");
             next_rack += 1;
+            if next_rack == racks {
+                stage = 4;
+            }
+        } else if stage == 4 && live_update && off >= update_off {
+            stage = 5;
+            // The live-update wave (DESIGN.md §16): every rack rolls
+            // its hypervisors v1→v2 in place.  Unlike the maintenance
+            // wave no guest is drained — nodes keep serving and the
+            // fleet view converges on the new version.
+            let updated = fs.patch_tuesday_live_update(2);
+            assert_eq!(updated, sizing.nodes, "every node must roll to v2");
+            assert_eq!(
+                fs.fleet().min_hv_version(),
+                2,
+                "the fleet must converge on v2"
+            );
         }
     });
     faultgen::reset();
-    assert_eq!(stage, 3, "every fleet event must fire within the stream");
+    assert_eq!(
+        stage,
+        if live_update { 5 } else { 4 },
+        "every fleet event must fire within the stream"
+    );
     assert_eq!(next_rack, racks, "the wave must reach every rack");
 
     let healed = (0..sizing.nodes)
@@ -681,6 +779,7 @@ fn run_fleet(seed: u64, sizing: &FleetSizing) -> FleetRun {
         wave_spans: fs.wave_spans().to_vec(),
         degrade_reasons,
         healed,
+        hv_version_min: fs.fleet().min_hv_version(),
     }
 }
 
@@ -697,15 +796,17 @@ fn dist(xs: &[u64]) -> (u64, u64, u64) {
 /// The whole `--fleet` mode: two passes (skip on / skip off), gates,
 /// and the `fleet_results.json` archive.  Returns the process exit
 /// code.
-fn fleet_main(seed: u64, sizing: &FleetSizing, label: &str, no_skip: bool) -> i32 {
+fn fleet_main(seed: u64, sizing: &FleetSizing, label: &str, no_skip: bool, live_update: bool) -> i32 {
     eprintln!(
-        "serving_tail --fleet: seed {seed} ({label}), {} nodes in racks of {}",
-        sizing.nodes, sizing.rack_size
+        "serving_tail --fleet: seed {seed} ({label}), {} nodes in racks of {}{}",
+        sizing.nodes,
+        sizing.rack_size,
+        if live_update { ", live-update wave" } else { "" }
     );
     simx86::evclock::set_default_skip(!no_skip);
-    let pass1 = run_fleet(seed, sizing);
+    let pass1 = run_fleet(seed, sizing, live_update);
     simx86::evclock::set_default_skip(false);
-    let pass2 = run_fleet(seed, sizing);
+    let pass2 = run_fleet(seed, sizing, live_update);
     simx86::evclock::set_default_skip(true);
     let deterministic = pass1 == pass2;
 
@@ -750,6 +851,11 @@ fn fleet_main(seed: u64, sizing: &FleetSizing, label: &str, no_skip: bool) -> i3
     ));
     json.push_str(&format!("  \"nodes\": {},\n", sizing.nodes));
     json.push_str(&format!("  \"rack_size\": {},\n", sizing.rack_size));
+    json.push_str(&format!("  \"live_update_wave\": {live_update},\n"));
+    json.push_str(&format!(
+        "  \"hv_version_min\": {},\n",
+        pass1.hv_version_min
+    ));
     json.push_str(&format!("  \"offered\": {},\n", t.offered));
     json.push_str(&format!("  \"completed\": {},\n", t.completed));
     json.push_str(&format!("  \"shed\": {},\n", t.shed));
@@ -842,6 +948,12 @@ fn fleet_main(seed: u64, sizing: &FleetSizing, label: &str, no_skip: bool) -> i3
     if !pass1.healed {
         fail("fleet did not heal: some node not healthy and home".to_string());
     }
+    if live_update && pass1.hv_version_min != 2 {
+        fail(format!(
+            "live-update wave did not converge: weakest-link hv version {} != 2",
+            pass1.hv_version_min
+        ));
+    }
     if ok {
         0
     } else {
@@ -859,6 +971,7 @@ fn json_scenario(s: &ScenarioRun, t: &TailStats) -> String {
             "\"mean_us\": {:.3}, \"mean_queue_us\": {:.3}, ",
             "\"attaches\": {}, \"detaches\": {}, ",
             "\"attach_cycles\": {}, \"detach_cycles\": {}, ",
+            "\"live_updates\": {}, \"update_cycles\": {}, ",
             "\"scrub_revalidated\": {}, \"faults_recovered\": {}}}"
         ),
         s.name,
@@ -882,6 +995,8 @@ fn json_scenario(s: &ScenarioRun, t: &TailStats) -> String {
         s.switches.detaches,
         s.switches.attach_cycles,
         s.switches.detach_cycles,
+        s.switches.updates,
+        s.switches.update_cycles,
         s.switches.scrubbed,
         s.faults_recovered,
     )
@@ -900,6 +1015,7 @@ fn main() {
     let mut campaign = false;
     let mut no_skip = false;
     let mut fleet = false;
+    let mut live_update = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -913,8 +1029,9 @@ fn main() {
             "--campaign" => campaign = true,
             "--no-skip" => no_skip = true,
             "--fleet" => fleet = true,
+            "--live-update" => live_update = true,
             other => {
-                panic!("unknown argument {other:?} (use --seed N / --quick / --campaign / --no-skip / --fleet)")
+                panic!("unknown argument {other:?} (use --seed N / --quick / --campaign / --no-skip / --fleet / --live-update)")
             }
         }
     }
@@ -937,7 +1054,7 @@ fn main() {
         } else {
             "full"
         };
-        std::process::exit(fleet_main(seed, &sizing, label, no_skip));
+        std::process::exit(fleet_main(seed, &sizing, label, no_skip, live_update));
     }
     let sizing = if quick {
         Sizing::quick()
@@ -961,11 +1078,11 @@ fn main() {
     eprintln!("serving_tail: seed {seed} ({label}), skip-on + skip-off passes");
     simx86::evclock::set_default_skip(!no_skip);
     let t1 = std::time::Instant::now();
-    let pass1 = run_suite(seed, &sizing);
+    let pass1 = run_suite(seed, &sizing, live_update);
     let host_skip_on = t1.elapsed().as_secs_f64();
     simx86::evclock::set_default_skip(false);
     let t2 = std::time::Instant::now();
-    let pass2 = run_suite(seed, &sizing);
+    let pass2 = run_suite(seed, &sizing, live_update);
     let host_skip_off = t2.elapsed().as_secs_f64();
     simx86::evclock::set_default_skip(true);
     let deterministic = pass1 == pass2;
@@ -1004,6 +1121,7 @@ fn main() {
     let virt = anchor("steady-virtual-1cpu");
     let switching = anchor("switch-under-load-1cpu");
     let faulting = anchor("fault-campaign-under-load-1cpu");
+    let updating = live_update.then(|| anchor("update-under-load-1cpu"));
     let ratio = |a: u64, b: u64| a as f64 / b.max(1) as f64;
     println!(
         "\nvs steady native (UP): virtual p99 {:.2}x | switching p99 {:.2}x p999 {:.2}x | faults p99 {:.2}x p999 {:.2}x",
@@ -1013,6 +1131,13 @@ fn main() {
         ratio(faulting.p99_cycles, native.p99_cycles),
         ratio(faulting.p999_cycles, native.p999_cycles),
     );
+    if let Some(u) = updating {
+        println!(
+            "live-update p99 {:.2}x p999 {:.2}x vs steady native (UP)",
+            ratio(u.p99_cycles, native.p99_cycles),
+            ratio(u.p999_cycles, native.p999_cycles),
+        );
+    }
 
     // -- archive ---------------------------------------------------------
     let mut json = String::new();
@@ -1040,10 +1165,28 @@ fn main() {
         "    \"fault_campaign_p99\": {:.4},\n",
         ratio(faulting.p99_cycles, native.p99_cycles)
     ));
-    json.push_str(&format!(
-        "    \"fault_campaign_p999\": {:.4}\n",
-        ratio(faulting.p999_cycles, native.p999_cycles)
-    ));
+    match updating {
+        Some(u) => {
+            json.push_str(&format!(
+                "    \"fault_campaign_p999\": {:.4},\n",
+                ratio(faulting.p999_cycles, native.p999_cycles)
+            ));
+            json.push_str(&format!(
+                "    \"update_under_load_p99\": {:.4},\n",
+                ratio(u.p99_cycles, native.p99_cycles)
+            ));
+            json.push_str(&format!(
+                "    \"update_under_load_p999\": {:.4}\n",
+                ratio(u.p999_cycles, native.p999_cycles)
+            ));
+        }
+        None => {
+            json.push_str(&format!(
+                "    \"fault_campaign_p999\": {:.4}\n",
+                ratio(faulting.p999_cycles, native.p999_cycles)
+            ));
+        }
+    }
     json.push_str("  },\n");
     json.push_str("  \"scenarios\": [\n");
     let rows: Vec<String> = pass1
@@ -1109,6 +1252,17 @@ fn main() {
                 }
                 if s.switches.attaches == 0 {
                     fail(format!("{}: reactive scenario never attached", s.name));
+                }
+            }
+            "updating" => {
+                if s.switches.updates == 0 || s.switches.update_cycles == 0 {
+                    fail(format!("{}: live-update scenario never updated", s.name));
+                }
+                if s.switches.attaches != 0 || s.switches.detaches != 0 {
+                    fail(format!(
+                        "{}: live-update scenario must never leave virtual mode",
+                        s.name
+                    ));
                 }
             }
             _ => {

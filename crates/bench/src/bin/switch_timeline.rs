@@ -6,7 +6,7 @@
 //! state transfer (page-table writability flips, selector fixups, frame
 //! accounting), per-CPU hardware reload, and the VO pointer swap.
 //!
-//! Three legs, one per strategy of interest:
+//! Four legs, one per path of interest:
 //!
 //! * **attach / detach** — the default ([`TrackingStrategy::DirtyRecompute`])
 //!   path: boot pre-cache + O(dirty) revalidation on attach, snapshot
@@ -20,6 +20,9 @@
 //!   both kernel-critical dirty frames (validated synchronously) and
 //!   deferrable ones (enqueued in `lazy_admit` for first-touch
 //!   validation).
+//! * **live_update** — the hv-to-hv update path (DESIGN.md §16): the
+//!   kernel stays virtual while a pre-cached successor hypervisor
+//!   handshakes, rebuilds its frame accounting cold, and commits.
 //!
 //! Emits three artifacts next to `bench_results.json`:
 //!
@@ -77,6 +80,14 @@ const DETACH_PHASES_FULL: &[&str] = &[
     "switch.transfer.fix_selectors",
     "switch.reload_cpu",
     "switch.vo_swap",
+];
+/// Phase probes for the hypervisor live-update (hv-to-hv, DESIGN.md
+/// §16): handshake, cold successor rebuild, commit, per-CPU reload.
+const UPDATE_PHASES: &[&str] = &[
+    "switch.liveupdate.handshake",
+    "switch.liveupdate.transfer",
+    "switch.vo_swap",
+    "switch.reload_cpu",
 ];
 
 /// Accumulated per-phase cycles for one switch direction.
@@ -258,6 +269,38 @@ fn run_leg(
     (attach, detach, last_traces)
 }
 
+/// Run the live-update leg: attach once (untraced), then `SAMPLES`
+/// hv-to-hv updates (v1→v2→…), each staged untraced and measured end
+/// to end.  The kernel never leaves virtual mode, so this decomposes
+/// the one cost a live-update adds on top of staying attached.
+fn run_update_leg(bed: &TestBed) -> (Breakdown, String) {
+    let mercury = bed.mercury.as_ref().expect("M-N testbed has mercury");
+    let cpu = bed.machine.boot_cpu();
+    assert!(matches!(
+        mercury.switch_to_virtual(cpu).expect("attach"),
+        SwitchOutcome::Completed { .. }
+    ));
+    let mut update = Breakdown::new("live_update", UPDATE_PHASES);
+    let mut last_trace = String::new();
+    for i in 0..SAMPLES {
+        let next = xenon::Hypervisor::warm_up_versioned(&bed.machine, i + 2);
+        mercury.stage_update(next).expect("stage update");
+        merctrace::reset();
+        merctrace::arm();
+        let SwitchOutcome::Completed { cycles } = mercury.live_update(cpu).expect("live-update")
+        else {
+            panic!("live-update did not complete")
+        };
+        merctrace::disarm();
+        let snap = merctrace::snapshot();
+        assert_eq!(snap.total_dropped(), 0, "trace ring overflowed");
+        update.add(&snap, cycles);
+        last_trace = merctrace::export::chrome_trace(&snap, CYCLES_PER_US);
+    }
+    assert_eq!(mercury.hv_version(), SAMPLES + 1, "versions must march");
+    (update, last_trace)
+}
+
 fn main() {
     assert!(
         merctrace::ENABLED,
@@ -301,6 +344,12 @@ fn main() {
         || churn(&sess_lazy),
     );
 
+    // Live-update leg: hv-to-hv on a warmed virtual-mode bed (§6 live
+    // VMM update, DESIGN.md §16) — the kernel never detaches to native.
+    let bed_update = TestBed::build_mn_with_strategy(1, TrackingStrategy::default());
+    let _sess_update = warm(&bed_update);
+    let (update, update_trace) = run_update_leg(&bed_update);
+
     println!("Mode-switch timeline ({SAMPLES} samples per leg)\n");
     println!("Default strategy (dirty-recompute, boot pre-cache):\n");
     println!("{}", attach.markdown());
@@ -311,6 +360,8 @@ fn main() {
     println!("Lazy fault-driven admission (lazy-validate, churned):\n");
     println!("{}", attach_lazy.markdown());
     println!("{}", detach_lazy.markdown());
+    println!("Hypervisor live-update (hv-to-hv, kernel stays virtual):\n");
+    println!("{}", update.markdown());
 
     let legs = [
         &attach,
@@ -319,6 +370,7 @@ fn main() {
         &detach_full,
         &attach_lazy,
         &detach_lazy,
+        &update,
     ];
     let json = format!(
         "{{\n{}\n}}\n",
@@ -328,9 +380,13 @@ fn main() {
             .join(",\n")
     );
     std::fs::write("switch_timeline.json", &json).expect("write switch_timeline.json");
-    // Keep the default leg's last attach/detach pair as the Chrome
-    // trace (the other legs differ only in the accounting phase).
-    let trace = format!("{{\"attach\":{},\"detach\":{}}}\n", traces.0, traces.1);
+    // Keep the default leg's last attach/detach pair plus the last
+    // live-update as the Chrome trace (the other legs differ only in
+    // the accounting phase).
+    let trace = format!(
+        "{{\"attach\":{},\"detach\":{},\"live_update\":{}}}\n",
+        traces.0, traces.1, update_trace
+    );
     std::fs::write("switch_timeline.trace.json", trace).expect("write switch_timeline.trace.json");
     eprintln!("wrote switch_timeline.json, switch_timeline.trace.json");
 

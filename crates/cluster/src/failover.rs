@@ -122,7 +122,7 @@ mod tests {
         assert!(report.downtime_us > 0.0);
 
         // The job's memory survived, on the other node's hardware.
-        healthy.hv.set_current(0, Some(report.guest.dom.id));
+        healthy.hv().set_current(0, Some(report.guest.dom.id));
         let gsess = Session::new(std::sync::Arc::clone(&report.guest.kernel), 0);
         for p in 0..4u64 {
             assert_eq!(

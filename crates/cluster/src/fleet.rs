@@ -51,6 +51,11 @@ pub enum MigrationPhase {
 struct Entry {
     status: NodeStatus,
     phase: MigrationPhase,
+    /// The VMM build version the node last reported
+    /// ([`xenon::Hypervisor::version`]); rolling live-update waves
+    /// bump it rack by rack, and the fleet is "converged" when every
+    /// node reports the same one.
+    hv_version: u32,
 }
 
 /// Shared, mutex-guarded per-node status + migration phase, plus the
@@ -83,6 +88,7 @@ impl FleetState {
                 Entry {
                     status: NodeStatus::Healthy,
                     phase: MigrationPhase::Idle,
+                    hv_version: 1,
                 };
                 nodes
             ]),
@@ -139,6 +145,30 @@ impl FleetState {
     /// Set the migration phase of `node`.
     pub fn set_phase(&self, node: usize, phase: MigrationPhase) {
         self.entries.lock()[node].phase = phase;
+    }
+
+    /// The VMM build version `node` last published.
+    pub fn hv_version(&self, node: usize) -> u32 {
+        self.entries.lock()[node].hv_version
+    }
+
+    /// Publish `node`'s VMM build version (read off the node with
+    /// [`xenon::liveupdate::status`] after launch, a live-update, or a
+    /// rolling maintenance wave).
+    pub fn set_hv_version(&self, node: usize, version: u32) {
+        self.entries.lock()[node].hv_version = version;
+    }
+
+    /// The lowest VMM version any node still runs — the fleet's
+    /// effective (weakest-link) hypervisor version.  A rolling
+    /// live-update wave is done when this reaches the wave's target.
+    pub fn min_hv_version(&self) -> u32 {
+        self.entries
+            .lock()
+            .iter()
+            .map(|e| e.hv_version)
+            .min()
+            .unwrap_or(0)
     }
 
     /// The balancer's first-order dispatch key for `node`:
@@ -211,6 +241,19 @@ mod tests {
         assert!(c(1) < c(2), "pre-copy beats stop-and-copy");
         assert!(c(2) < c(3), "stop-and-copy beats degraded");
         assert_eq!(c(4), None, "evacuated nodes are not dispatchable");
+    }
+
+    #[test]
+    fn hv_versions_track_the_weakest_link() {
+        let fleet = FleetState::new(4, 2);
+        assert_eq!(fleet.min_hv_version(), 1);
+        fleet.set_hv_version(0, 2);
+        fleet.set_hv_version(1, 2);
+        fleet.set_hv_version(3, 2);
+        assert_eq!(fleet.hv_version(0), 2);
+        assert_eq!(fleet.min_hv_version(), 1, "node 2 still on v1");
+        fleet.set_hv_version(2, 2);
+        assert_eq!(fleet.min_hv_version(), 2);
     }
 
     #[test]

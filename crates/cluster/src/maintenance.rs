@@ -171,7 +171,7 @@ pub(crate) fn evacuate_inner(
 
     let cpu = source.machine.boot_cpu();
 
-    let mut migration = LiveMigration::new(Arc::clone(&source.hv), Arc::clone(src_m.dom0()));
+    let mut migration = LiveMigration::new(source.hv(), Arc::clone(src_m.dom0()));
     observer(MigrationPhase::PreCopy);
     match plan {
         RoundPlan::Fixed(n) => {
@@ -206,7 +206,7 @@ pub(crate) fn evacuate_inner(
     migrate_storage(source, target);
 
     let (dom, report) = migration
-        .finalize(cpu, &target.hv, 0)
+        .finalize(cpu, &target.hv(), 0)
         .map_err(MaintenanceError::Migration)?;
 
     // Thaw the kernel on the target machine.
@@ -214,7 +214,7 @@ pub(crate) fn evacuate_inner(
     let kernel = Kernel::thaw(
         Arc::clone(&target.machine),
         BootMode::Guest {
-            hv: Arc::clone(&target.hv),
+            hv: target.hv(),
             dom: Arc::clone(&dom),
         },
         &guest_state,
@@ -228,7 +228,7 @@ pub(crate) fn evacuate_inner(
 
     let mercury = Mercury::adopt(
         Arc::clone(&kernel),
-        Arc::clone(&target.hv),
+        target.hv(),
         Arc::clone(&dom),
         TrackingStrategy::RecomputeOnSwitch,
     )
@@ -251,7 +251,7 @@ fn connect_split_devices(
     guest_kernel: &Arc<Kernel>,
     guest_dom: &Arc<Domain>,
 ) -> Result<SplitDevices, MaintenanceError> {
-    let hv = &host.hv;
+    let hv = host.hv();
     let cpu = host.machine.boot_cpu();
     let host_dom = host.mercury().dom0().clone();
 
@@ -351,18 +351,18 @@ pub fn return_home(
         .map_err(MaintenanceError::Kernel)?;
     debug_assert_eq!(guest.devices.blk.queued_writes(), 0);
 
-    let mut migration = LiveMigration::new(Arc::clone(&host.hv), Arc::clone(&guest.dom));
+    let mut migration = LiveMigration::new(host.hv(), Arc::clone(&guest.dom));
     migration.round(cpu).map_err(MaintenanceError::Migration)?;
     migrate_storage(host, home);
     let (dom, report) = migration
-        .finalize(cpu, &home.hv, 0)
+        .finalize(cpu, &home.hv(), 0)
         .map_err(MaintenanceError::Migration)?;
 
     let guest_state = thawed_state(&dom)?;
     let kernel = Kernel::thaw(
         Arc::clone(&home.machine),
         BootMode::Guest {
-            hv: Arc::clone(&home.hv),
+            hv: home.hv(),
             dom: Arc::clone(&dom),
         },
         &guest_state,
@@ -384,7 +384,7 @@ pub fn return_home(
 
     let mercury = Mercury::adopt(
         Arc::clone(&kernel),
-        Arc::clone(&home.hv),
+        home.hv(),
         dom,
         TrackingStrategy::RecomputeOnSwitch,
     )
@@ -404,9 +404,9 @@ pub fn return_home(
     // Reflection must route to the host's own OS again first (the test
     // bed may have focused the CPU on the departed guest).
     let host_m = host.mercury();
-    if host.hv.domains().len() == 1 {
+    if host.hv().domains().len() == 1 {
         for c in &host.machine.cpus {
-            host.hv.set_current(c.id, Some(host_m.dom0().id));
+            host.hv().set_current(c.id, Some(host_m.dom0().id));
         }
         let _ = host_m.switch_to_native(cpu);
     }
@@ -420,7 +420,7 @@ pub fn return_home(
         host_bounce,
         ..
     } = guest.devices;
-    host.hv.give_reserved(ring_frames);
+    host.hv().give_reserved(ring_frames);
     host.machine.allocator.free(host_bounce);
 
     Ok(report)
@@ -452,11 +452,11 @@ mod tests {
         let guest = evacuate(home, host, 2).unwrap();
         assert!(guest.report.total_frames > 0);
         assert_eq!(guest.kernel.exec_mode(), ExecMode::Virtual);
-        assert_eq!(host.hv.domains().len(), 2, "host hosts its OS + the guest");
+        assert_eq!(host.hv().domains().len(), 2, "host hosts its OS + the guest");
 
         // The evacuated OS keeps running on the host.
         let gsess = Session::new(Arc::clone(&guest.kernel), 0);
-        host.hv.set_current(0, Some(guest.dom.id));
+        host.hv().set_current(0, Some(guest.dom.id));
         assert_eq!(gsess.peek(va).unwrap(), 0xabcd);
         gsess.poke(va, 0xbeef).unwrap();
         // Its filesystem works through the split block driver.
@@ -481,7 +481,7 @@ mod tests {
 
         // The host went back to native speed as well.
         assert_eq!(host.mercury().mode(), ExecMode::Native);
-        assert_eq!(host.hv.domains().len(), 1);
+        assert_eq!(host.hv().domains().len(), 1);
     }
 
     /// The bug the fleet bench shook out: `evacuate` used to copy the
@@ -503,7 +503,7 @@ mod tests {
         let guest = evacuate(home, host, 1).unwrap();
 
         let gsess = Session::new(Arc::clone(&guest.kernel), 0);
-        host.hv.set_current(0, Some(guest.dom.id));
+        host.hv().set_current(0, Some(guest.dom.id));
         let fd2 = gsess.open("dirty.txt", false).unwrap();
         match gsess.read(fd2, 26).unwrap() {
             ReadOutcome::Data(d) => assert_eq!(d, b"acknowledged, never synced"),
@@ -526,7 +526,7 @@ mod tests {
 
         let guest = evacuate(home, host, 1).unwrap();
         let gsess = Session::new(Arc::clone(&guest.kernel), 0);
-        host.hv.set_current(0, Some(guest.dom.id));
+        host.hv().set_current(0, Some(guest.dom.id));
 
         // Mutate the file through the split device and *sync the vfs*
         // so the blocks reach the backend, where they sit early-acked.
@@ -556,20 +556,20 @@ mod tests {
         // One warm-up cycle so lazy first-switch allocations don't
         // pollute the baseline; the leak was per-cycle.
         let guest = evacuate(home, host, 1).unwrap();
-        host.hv.set_current(0, Some(guest.dom.id));
+        host.hv().set_current(0, Some(guest.dom.id));
         return_home(guest, host, home).unwrap();
 
-        let reserved_before = host.hv.reserved_frames();
+        let reserved_before = host.hv().reserved_frames();
         let avail_before = host.machine.allocator.available();
 
         for _ in 0..3 {
             let guest = evacuate(home, host, 1).unwrap();
-            host.hv.set_current(0, Some(guest.dom.id));
+            host.hv().set_current(0, Some(guest.dom.id));
             return_home(guest, host, home).unwrap();
         }
 
         assert_eq!(
-            host.hv.reserved_frames(),
+            host.hv().reserved_frames(),
             reserved_before,
             "ring frames must return to the reserved pool"
         );
@@ -589,7 +589,7 @@ mod tests {
         let host = cluster.node(1);
 
         let guest = evacuate(home, host, 1).unwrap();
-        host.hv.set_current(0, Some(guest.dom.id));
+        host.hv().set_current(0, Some(guest.dom.id));
 
         // Corrupt the image in the way a buggy migration would: the
         // domain arrives without its frozen kernel state.  return_home
@@ -637,7 +637,7 @@ mod rolling_tests {
             let guest = evacuate(home, host, 1).unwrap();
 
             // The evacuated OS keeps mutating while its home is down.
-            host.hv.set_current(0, Some(guest.dom.id));
+            host.hv().set_current(0, Some(guest.dom.id));
             let gsess = nimbus::Session::new(std::sync::Arc::clone(&guest.kernel), 0);
             gsess.poke(VirtAddr(vas[i].0), 2000 + i as u64).unwrap();
 
@@ -650,7 +650,7 @@ mod rolling_tests {
         // Every node native, every hypervisor hosting nothing foreign.
         for node in &cluster.nodes {
             assert_eq!(node.mercury().mode(), mercury::ExecMode::Native);
-            assert!(node.hv.domains().len() <= 1);
+            assert!(node.hv().domains().len() <= 1);
         }
     }
 }

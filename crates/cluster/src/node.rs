@@ -50,8 +50,6 @@ pub struct Node {
     pub name: String,
     /// The machine.
     pub machine: Arc<Machine>,
-    /// The (pre-cached) hypervisor.
-    pub hv: Arc<Hypervisor>,
     /// The operating system currently running this node.  Replaced when
     /// the node's OS is evacuated and later returns.
     kernel: RwLock<Arc<Kernel>>,
@@ -101,7 +99,6 @@ impl Node {
         Arc::new(Node {
             name: name.to_string(),
             machine,
-            hv,
             kernel: RwLock::new(kernel),
             mercury: RwLock::new(mercury),
             scrubber,
@@ -136,6 +133,16 @@ impl Node {
     /// The node's Mercury engine.
     pub fn mercury(&self) -> Arc<Mercury> {
         Arc::clone(&self.mercury.read())
+    }
+
+    /// The node's *current* hypervisor.  Read through Mercury's slot
+    /// rather than cached at launch: a live-update (DESIGN.md §16)
+    /// replaces the instance, and everything the cluster layer does
+    /// with a hypervisor — migration rings, failover bookkeeping,
+    /// health checks — must see the successor, never a decommissioned
+    /// husk.
+    pub fn hv(&self) -> Arc<Hypervisor> {
+        self.mercury().hypervisor()
     }
 
     /// The node's background dirty-frame scrubber.
@@ -208,7 +215,7 @@ mod tests {
     fn node_launches_native_with_dormant_vmm() {
         let node = Node::launch("n0", &NodeConfig::default());
         assert_eq!(node.mercury().mode(), ExecMode::Native);
-        assert!(!node.hv.is_active());
+        assert!(!node.hv().is_active());
         let sess = node.session();
         let fd = sess.open("boot.log", true).unwrap();
         sess.write(fd, b"up").unwrap();
@@ -273,6 +280,28 @@ mod tests {
         }
         assert!(node.scrubber().revalidated() > 0);
         assert!(node.scrubber().cycles_donated() > 0);
+    }
+
+    #[test]
+    fn node_hv_accessor_tracks_a_live_update() {
+        let node = Node::launch("n0", &NodeConfig::default());
+        let cpu = node.machine.boot_cpu();
+        let m = node.mercury();
+        let v1 = node.hv();
+        assert_eq!(v1.version(), 1);
+        m.switch_to_virtual(cpu).unwrap();
+        let v2 = Hypervisor::warm_up_versioned(&node.machine, 2);
+        m.stage_update(Arc::clone(&v2)).unwrap();
+        assert!(matches!(
+            m.live_update(cpu).unwrap(),
+            mercury::SwitchOutcome::Completed { .. }
+        ));
+        // The accessor reads Mercury's slot, so it sees the successor;
+        // a launch-time cached handle would still point at the husk.
+        assert!(Arc::ptr_eq(&node.hv(), &v2));
+        assert_eq!(node.hv().version(), 2);
+        assert!(!v1.is_active(), "incumbent decommissioned");
+        m.switch_to_native(cpu).unwrap();
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! class-specific [`RecoveryAction`], and detaches at the end of the
 //! campaign window.
 //!
+//! One class gets special treatment: [`FaultClass::VmmCorrupt`] means
+//! the *hypervisor's own state* is damaged, so no in-place repair can
+//! be trusted — the watchdog's `update-on-suspicion` policy live-
+//! updates the node onto a pristine, newer-versioned VMM instance
+//! ([`RecoveryAction::LiveUpdate`], DESIGN.md §16) without detaching
+//! or disturbing the guest.
+//!
 //! Two imperfect-world paths are modelled explicitly:
 //!
 //! * **`Busy`/deferred switches** — if the attach is deferred by the VO
@@ -33,6 +40,7 @@ use mercury::{ExecMode, Mercury, SwitchError, SwitchOutcome};
 use nimbus::Kernel;
 use simx86::{Cpu, Machine, PhysAddr};
 use std::sync::Arc;
+use xenon::{BackgroundScrubber, Hypervisor};
 
 /// Watchdog tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +84,11 @@ pub enum RecoveryAction {
     /// Cleared a transient/slow hypercall (the caller already paid the
     /// retry penalty).
     HypercallRetry,
+    /// Replaced the running hypervisor with a pristine, newer-versioned
+    /// successor via live-update (DESIGN.md §16) — the
+    /// `update-on-suspicion` policy for faults *inside* the VMM, where
+    /// no in-place scrub can be trusted.
+    LiveUpdate,
 }
 
 impl RecoveryAction {
@@ -88,6 +101,7 @@ impl RecoveryAction {
             RecoveryAction::SpuriousAck => "spurious-ack",
             RecoveryAction::IdtRepair => "idt-repair",
             RecoveryAction::HypercallRetry => "hypercall-retry",
+            RecoveryAction::LiveUpdate => "live-update",
         }
     }
 }
@@ -151,6 +165,16 @@ pub struct Watchdog {
     reports: Vec<FaultReport>,
     /// Shared fleet view + this node's index in it, when fleet-bound.
     fleet: Option<(Arc<FleetState>, usize)>,
+    /// The node's idle scrubber, when bound: a successful live-update
+    /// retargets it at the successor's frame table so donated cycles
+    /// keep revalidating the *live* ledger.
+    scrubber: Option<Arc<BackgroundScrubber>>,
+    /// `VmmCorrupt` faults whose update attempt rolled back.  They stay
+    /// outstanding in the injector (the damage lives in the incumbent's
+    /// tables), and the next *completed* update resolves them wholesale
+    /// — one pristine successor heals the entire table, not just the
+    /// record named by the triggering signal.
+    suspected: Vec<u64>,
 }
 
 impl Watchdog {
@@ -171,7 +195,15 @@ impl Watchdog {
             degraded: false,
             reports: Vec::new(),
             fleet: None,
+            scrubber: None,
+            suspected: Vec::new(),
         }
+    }
+
+    /// Bind the node's idle scrubber so a live-update recovery can
+    /// retarget it at the successor hypervisor's frame table.
+    pub fn bind_scrubber(&mut self, scrubber: Arc<BackgroundScrubber>) {
+        self.scrubber = Some(scrubber);
     }
 
     /// Bind this watchdog to the shared fleet view as node `index`:
@@ -362,6 +394,65 @@ impl Watchdog {
             FaultTarget::Hypercall { .. } => {
                 let ok = faultgen::resolve(signal.fault_id);
                 (RecoveryAction::HypercallRetry, ok)
+            }
+            // Update-on-suspicion: the damaged component is the
+            // hypervisor's own frame accounting, so no in-place scrub
+            // can be trusted — the incumbent's ledger is the thing
+            // under suspicion.  Live-update to a pristine successor
+            // whose accounting is *recomputed* from the guest's own
+            // page tables; only a completed update resolves the fault,
+            // so a rollback leaves it outstanding for the next poll.
+            FaultTarget::VmmState { .. } => {
+                let updated = self.live_update_recover(cpu);
+                let ok = updated && faultgen::resolve(signal.fault_id);
+                if updated {
+                    // The successor's table was rebuilt wholesale, so
+                    // every earlier rolled-back suspicion is healed too.
+                    for id in self.suspected.drain(..) {
+                        faultgen::resolve(id);
+                    }
+                } else {
+                    self.suspected.push(signal.fault_id);
+                }
+                (RecoveryAction::LiveUpdate, ok)
+            }
+        }
+    }
+
+    /// Recover from VMM-state corruption by live-updating onto a
+    /// freshly warmed, strictly-newer-versioned hypervisor (DESIGN.md
+    /// §16).  Returns `true` only if the node completed the update on
+    /// the successor; a rollback or refusal leaves the incumbent
+    /// running (guest untouched) and reports failure.
+    fn live_update_recover(&mut self, cpu: &Arc<Cpu>) -> bool {
+        // The corruption hook fires at hypervisor service points, so
+        // the node is virtual when the fault lands; if it detached
+        // before this poll, `ensure_attached` has already re-attached
+        // (and the attach recompute would *mask* the damage — but the
+        // fault stays armed until an update actually resolves it).
+        if self.mercury.mode() != ExecMode::Virtual {
+            return false;
+        }
+        let successor =
+            Hypervisor::warm_up_versioned(&self.machine, self.mercury.hv_version() + 1);
+        if self.mercury.stage_update(successor).is_err() {
+            return false;
+        }
+        match self.mercury.live_update(cpu) {
+            Ok(SwitchOutcome::Completed { .. }) => {
+                merctrace::counter!(cpu.id, "watchdog.live_update", 1, cpu.cycles());
+                if let Some(scrubber) = &self.scrubber {
+                    scrubber.retarget(Arc::clone(&self.mercury.hypervisor().page_info));
+                }
+                true
+            }
+            _ => {
+                // Deferred or rolled back: drop any leftover staging
+                // (and its reserved successor frames) so the next poll
+                // stages a fresh instance.
+                self.mercury.clear_staged_update();
+                merctrace::counter!(cpu.id, "watchdog.live_update_failed", 1, cpu.cycles());
+                false
             }
         }
     }

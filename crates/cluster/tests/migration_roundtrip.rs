@@ -130,7 +130,7 @@ fn run_case(case: &Case) {
 
     // -- serve as a guest: concurrent dirty traffic -------------------
     let gsess = Session::new(Arc::clone(&guest.kernel), 0);
-    host.hv.set_current(0, Some(guest.dom.id));
+    host.hv().set_current(0, Some(guest.dom.id));
     for &(i, v) in &case.guest_writes {
         gsess.poke(slot(va, i), v).unwrap();
         memory_model.insert(i, v);
@@ -215,7 +215,7 @@ fn run_case(case: &Case) {
     // Both nodes back to native, nothing foreign left behind.
     assert_eq!(home.mercury().mode(), mercury::ExecMode::Native);
     assert_eq!(host.mercury().mode(), mercury::ExecMode::Native);
-    assert_eq!(host.hv.domains().len(), 1);
+    assert_eq!(host.hv().domains().len(), 1);
 }
 
 proptest! {

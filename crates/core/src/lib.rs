@@ -97,7 +97,9 @@ pub mod vo;
 
 pub use pgtrack::TrackingStrategy;
 pub use refcount::VoRefCount;
-pub use switch::{AssistMode, Mercury, ModeDetail, SwitchError, SwitchOutcome, SwitchStats};
+pub use switch::{
+    AssistMode, LiveUpdatePhase, Mercury, ModeDetail, SwitchError, SwitchOutcome, SwitchStats,
+};
 pub use vo::CountedVo;
 
 pub use nimbus::paravirt::ExecMode;

@@ -81,7 +81,7 @@ pub fn take(mercury: &Arc<Mercury>, cpu: &Arc<Cpu>) -> Result<Checkpoint, Checkp
         .map_err(CheckpointError::Kernel)?;
     *mercury.dom0().guest_state.lock() = Some(state);
     let image =
-        save_domain(mercury.hypervisor(), cpu, mercury.dom0()).map_err(CheckpointError::Hv)?;
+        save_domain(&mercury.hypervisor(), cpu, mercury.dom0()).map_err(CheckpointError::Hv)?;
 
     if was_native {
         match mercury

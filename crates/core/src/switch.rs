@@ -61,7 +61,7 @@ use crate::shard::{WorkQueue, SHARD_CHUNK_FRAMES};
 use crate::vo::CountedVo;
 use nimbus::paravirt::{BareOps, ExecMode, HvmOps, PvOps, XenOps};
 use nimbus::Kernel;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use simx86::cpu::{vectors, InterruptSink, PrivLevel, TrapFrame};
 use simx86::mem::FrameNum;
 use simx86::paging::Pte;
@@ -135,6 +135,16 @@ pub enum SwitchError {
     Transfer(String),
     /// No switch has been requested on this CPU.
     NothingPending,
+    /// Live-update was requested but no successor VMM has been staged
+    /// with [`Mercury::stage_update`].
+    NoUpdateStaged,
+    /// Live-update only applies while the node runs *on* the VMM being
+    /// replaced; in native mode the dormant VMM can simply be swapped
+    /// wholesale.
+    NotVirtual,
+    /// A live-update transfer failed and the node rolled back to the
+    /// incumbent VMM (guest state untouched — DESIGN.md §16 rule #3).
+    UpdateRolledBack(String),
 }
 
 impl std::fmt::Display for SwitchError {
@@ -146,6 +156,13 @@ impl std::fmt::Display for SwitchError {
             }
             SwitchError::Transfer(e) => write!(f, "state transfer failed: {e}"),
             SwitchError::NothingPending => write!(f, "no switch outcome recorded"),
+            SwitchError::NoUpdateStaged => write!(f, "no successor VMM staged for live-update"),
+            SwitchError::NotVirtual => {
+                write!(f, "live-update requires virtual mode (the incumbent VMM must be live)")
+            }
+            SwitchError::UpdateRolledBack(e) => {
+                write!(f, "live-update rolled back to the incumbent VMM: {e}")
+            }
         }
     }
 }
@@ -181,6 +198,36 @@ pub struct SwitchStats {
     /// Cumulative cycles spent inside completed virtual→native
     /// switches (see [`SwitchStats::total_attach_cycles`]).
     pub total_detach_cycles: AtomicU64,
+    /// Completed hv-to-hv live-updates (DESIGN.md §16).
+    pub live_updates: AtomicU64,
+    /// Live-update attempts that failed the handshake or transfer and
+    /// rolled back to the incumbent VMM.
+    pub live_update_rollbacks: AtomicU64,
+    /// Cycles of the most recent completed live-update (handler entry
+    /// to commit, the same accounting as attach/detach).
+    pub last_update_cycles: AtomicU64,
+    /// Cumulative cycles spent inside completed live-updates.
+    pub total_update_cycles: AtomicU64,
+}
+
+/// The phases of a live-update at which it can be interrupted; used by
+/// the fault-injection hooks and the interruption property tests to
+/// pin failures to a specific point of the protocol.
+///
+/// The commit (the VMM-slot swap plus VO swap, published before the
+/// rendezvoused peers are released) is the linearization point: an
+/// interruption *before* it rolls back to the incumbent VMM with guest
+/// state bit-identical, an interruption *at or after* it completes on
+/// the successor (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveUpdatePhase {
+    /// Version/pristine/machine handshake with the staged successor.
+    Handshake,
+    /// State transfer: page_info recompute on the successor, event-
+    /// channel and grant re-binding, domain adoption.
+    Transfer,
+    /// The slot swap itself — interruption here can no longer abort.
+    Commit,
 }
 
 /// Descriptor of the rendezvous round in flight, published by the
@@ -202,15 +249,31 @@ enum ShardChunk {
     Pgd(FrameNum),
 }
 
+/// A successor VMM staged for live-update, with both virtualization
+/// objects pre-built against it (§4.1 pre-caching applied to the
+/// update itself: nothing on the switch-critical path allocates).
+struct StagedUpdate {
+    hv: Arc<Hypervisor>,
+    native_vo: Arc<CountedVo>,
+    virtual_vo: Arc<CountedVo>,
+}
+
 /// The self-virtualization engine for one kernel.
 pub struct Mercury {
     kernel: Arc<Kernel>,
-    hv: Arc<Hypervisor>,
+    /// The VMM currently double-buffered under the kernel.  A slot
+    /// (not a bare field) because a live-update replaces it wholesale;
+    /// every switch path snapshots it once at entry.
+    hv_slot: RwLock<Arc<Hypervisor>>,
     machine: Arc<Machine>,
     dom0: Arc<Domain>,
     refcount: Arc<VoRefCount>,
-    native_vo: Arc<CountedVo>,
-    virtual_vo: Arc<CountedVo>,
+    /// Native VO slot: rebuilt at live-update because its dirty sink
+    /// binds the incumbent VMM's page_info table.
+    native_vo_slot: RwLock<Arc<CountedVo>>,
+    /// Virtual VO slot: rebuilt at live-update because `XenOps` binds
+    /// the incumbent VMM.
+    virtual_vo_slot: RwLock<Arc<CountedVo>>,
     strategy: TrackingStrategy,
     assist: AssistMode,
     /// EPT for hardware-assisted mode (built at install).
@@ -240,6 +303,21 @@ pub struct Mercury {
     lazy_set: Mutex<Option<Arc<LazySet>>>,
     /// Deferred switch target for the retry timer.
     pending: Mutex<Option<ExecMode>>,
+    /// The staged successor VMM awaiting [`Mercury::live_update`], if
+    /// any.  Deliberately *not* rendezvous-guarded: staging happens off
+    /// the switch path ([`Mercury::stage_update`] pre-builds the VOs
+    /// there), and only the consume inside the update round races the
+    /// protocol — a plain mutex covers both.
+    pending_update: Mutex<Option<StagedUpdate>>,
+    /// Fault-injection hook: abort the next live-update at this phase
+    /// (the interruption property tests and faultgen campaigns set it).
+    update_abort: Mutex<Option<LiveUpdatePhase>>,
+    /// Husk of a successor consumed by a rolled-back update, parked
+    /// here by the critical section (a pointer move — freeing its
+    /// 512-frame reservation is allocator work that must not extend
+    /// the stop-the-world window).  [`Mercury::live_update`] drains it
+    /// off the critical path.
+    retired_update: Mutex<Option<Arc<Hypervisor>>>,
     last_outcome: Mutex<Option<Result<SwitchOutcome, SwitchError>>>,
     /// Statistics.
     pub stats: SwitchStats,
@@ -253,6 +331,7 @@ impl InterruptSink for SwitchSink {
         match frame.vector {
             vectors::SELF_VIRT_ATTACH => m.handle_switch(cpu, frame, ExecMode::Virtual),
             vectors::SELF_VIRT_DETACH => m.handle_switch(cpu, frame, ExecMode::Native),
+            vectors::SELF_VIRT_UPDATE => m.handle_live_update(cpu, frame),
             vectors::SELF_VIRT_RENDEZVOUS => m.handle_rendezvous_peer(cpu, frame),
             _ => {}
         }
@@ -400,12 +479,12 @@ impl Mercury {
     ) -> Arc<Mercury> {
         let mercury = Arc::new(Mercury {
             kernel: Arc::clone(&kernel),
-            hv,
+            hv_slot: RwLock::new(hv),
             machine,
             dom0,
             refcount,
-            native_vo,
-            virtual_vo,
+            native_vo_slot: RwLock::new(native_vo),
+            virtual_vo_slot: RwLock::new(virtual_vo),
             strategy,
             assist,
             ept,
@@ -417,6 +496,9 @@ impl Mercury {
             dirty_baseline: AtomicBool::new(false),
             lazy_set: Mutex::new(None),
             pending: Mutex::new(None),
+            pending_update: Mutex::new(None),
+            update_abort: Mutex::new(None),
+            retired_update: Mutex::new(None),
             last_outcome: Mutex::new(None),
             stats: SwitchStats::default(),
         });
@@ -433,7 +515,7 @@ impl Mercury {
             let owned = kernel.pool_frames().len() as u64;
             cpu.tick(costs::PGINFO_RECOMPUTE_PER_FRAME * owned);
             merctrace::counter!(cpu.id, "switch.precache.frames", owned, cpu.cycles());
-            mercury.hv.page_info.reset_dirty_for(mercury.dom0.id);
+            mercury.hv().page_info.reset_dirty_for(mercury.dom0.id);
             mercury.dirty_baseline.store(true, Ordering::Release);
         }
 
@@ -469,7 +551,7 @@ impl Mercury {
         match self.mode() {
             ExecMode::Native => ModeDetail::Native,
             ExecMode::Virtual => {
-                let guests = self.hv.domains().len().saturating_sub(1);
+                let guests = self.hv().domains().len().saturating_sub(1);
                 if guests == 0 {
                     ModeDetail::FullVirtual
                 } else {
@@ -484,9 +566,29 @@ impl Mercury {
         &self.kernel
     }
 
-    /// The pre-cached hypervisor.
-    pub fn hypervisor(&self) -> &Arc<Hypervisor> {
-        &self.hv
+    /// The VMM currently double-buffered under the kernel.  Returns an
+    /// owned snapshot: a concurrent live-update can replace the slot,
+    /// and holders of the old `Arc` keep a consistent (if outdated)
+    /// view rather than a dangling reference.
+    pub fn hypervisor(&self) -> Arc<Hypervisor> {
+        self.hv()
+    }
+
+    /// Version of the VMM currently in the slot.
+    pub fn hv_version(&self) -> u32 {
+        self.hv().version()
+    }
+
+    fn hv(&self) -> Arc<Hypervisor> {
+        Arc::clone(&self.hv_slot.read())
+    }
+
+    fn native_vo(&self) -> Arc<CountedVo> {
+        Arc::clone(&self.native_vo_slot.read())
+    }
+
+    fn virtual_vo(&self) -> Arc<CountedVo> {
+        Arc::clone(&self.virtual_vo_slot.read())
     }
 
     /// The kernel's domain record (dom0 once attached).
@@ -580,6 +682,102 @@ impl Mercury {
         self.request(cpu, vectors::SELF_VIRT_DETACH)
     }
 
+    // ---- hypervisor live-update (DESIGN.md §16) -----------------------------
+
+    /// Stage `successor` for a hypervisor live-update: validate the
+    /// version handshake *now* and pre-build both virtualization
+    /// objects against the successor, so the switch-critical handler
+    /// allocates nothing (§4.1 pre-caching applied to the update).
+    ///
+    /// The successor must be strictly newer, dormant, pristine and on
+    /// the same machine ([`xenon::liveupdate::handshake`]); staging an
+    /// unacceptable successor fails here, not mid-rendezvous.
+    pub fn stage_update(&self, successor: Arc<Hypervisor>) -> Result<(), SwitchError> {
+        xenon::liveupdate::handshake(&self.hv(), &successor)
+            .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+        let native_vo = CountedVo::with_dirty_sink(
+            BareOps::new(Arc::clone(&self.machine)) as Arc<dyn PvOps>,
+            Arc::clone(&self.refcount),
+            self.strategy,
+            Arc::clone(&successor.page_info),
+        );
+        let virtual_vo = CountedVo::new(
+            XenOps::new(Arc::clone(&successor), Arc::clone(&self.dom0)) as Arc<dyn PvOps>,
+            Arc::clone(&self.refcount),
+            self.strategy,
+        );
+        *self.pending_update.lock() = Some(StagedUpdate {
+            hv: successor,
+            native_vo,
+            virtual_vo,
+        });
+        Ok(())
+    }
+
+    /// Version of the staged successor VMM, if one is pending.
+    pub fn staged_update_version(&self) -> Option<u32> {
+        self.pending_update.lock().as_ref().map(|s| s.hv.version())
+    }
+
+    /// Drop a staged successor without applying it, handing its
+    /// reserved frame pool back to the machine allocator (repeatedly
+    /// staging and abandoning updates must not bleed memory).
+    pub fn clear_staged_update(&self) {
+        if let Some(staged) = self.pending_update.lock().take() {
+            for f in staged.hv.decommission() {
+                self.machine.allocator.free(f);
+            }
+        }
+    }
+
+    /// Abort the next live-update at `phase` (fault injection for the
+    /// interruption property tests and the faultgen campaigns).  The
+    /// injection is one-shot: it is consumed when it fires.
+    pub fn inject_update_abort(&self, phase: Option<LiveUpdatePhase>) {
+        *self.update_abort.lock() = phase;
+    }
+
+    /// Live-update the running VMM to the staged successor: rendezvous
+    /// every CPU, transfer hypervisor state v1 → v2 (the guest's
+    /// domain record is *adopted*, never copied — guest memory and
+    /// in-flight I/O rings are bit-identical across the swap by
+    /// construction), commit the VMM/VO slots, and release the peers
+    /// onto the successor.  No detach to native happens in between.
+    ///
+    /// The block rings are quiesced here, *before* the switch-critical
+    /// handler runs, so the flush's disk I/O never extends the
+    /// stop-the-world window.  After a committed update the incumbent
+    /// is decommissioned and its reserved frames returned to the
+    /// allocator (the successor holds its own reservation), so
+    /// repeated updates do not leak the 512-frame warm-up pool.
+    pub fn live_update(&self, cpu: &Arc<Cpu>) -> Result<SwitchOutcome, SwitchError> {
+        if self.pending_update.lock().is_none() {
+            return Err(SwitchError::NoUpdateStaged);
+        }
+        let from = self.hv();
+        self.kernel
+            .sync(cpu)
+            .map_err(|e| SwitchError::Transfer(e.to_string()))?;
+        let out = self.request(cpu, vectors::SELF_VIRT_UPDATE);
+        // Off the critical path either way: a committed update retires
+        // the incumbent, a rolled-back one retires the discarded
+        // successor husk the critical section parked for us.  Both
+        // reservations go back to the machine allocator.
+        let retiree = match &out {
+            Ok(SwitchOutcome::Completed { .. }) => Some(Arc::clone(&from)),
+            _ => self.retired_update.lock().take(),
+        };
+        if let Some(husk) = retiree {
+            let reclaimed = husk.decommission();
+            let _n = reclaimed.len() as u64;
+            for f in reclaimed {
+                self.machine.allocator.free(f);
+            }
+            merctrace::counter!(cpu.id, "switch.liveupdate.reclaimed", _n, cpu.cycles());
+        }
+        out
+    }
+
     fn request(&self, cpu: &Arc<Cpu>, vector: u8) -> Result<SwitchOutcome, SwitchError> {
         *self.last_outcome.lock() = None;
         cpu.raise(vector);
@@ -626,6 +824,205 @@ impl Mercury {
         *self.last_outcome.lock() = Some(result);
     }
 
+    // volint::root(SWITCH, RENDEZVOUS)
+    fn handle_live_update(self: &Arc<Self>, cpu: &Arc<Cpu>, frame: &mut TrapFrame) {
+        let result = self.try_live_update(cpu, frame);
+        match &result {
+            Ok(SwitchOutcome::Completed { cycles }) => {
+                self.stats.live_updates.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .last_update_cycles
+                    .store(*cycles, Ordering::Relaxed);
+                self.stats
+                    .total_update_cycles
+                    .fetch_add(*cycles, Ordering::Relaxed);
+            }
+            Err(SwitchError::Rendezvous(_)) => {
+                self.stats.rendezvous_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(SwitchError::UpdateRolledBack(_)) => {
+                self.stats
+                    .live_update_rollbacks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        *self.last_outcome.lock() = Some(result);
+    }
+
+    /// The live-update critical section: the §5.4 rendezvous protocol
+    /// reused verbatim around an hv-to-hv transfer instead of a mode
+    /// change.  The round target stays `Virtual` throughout — only the
+    /// VMM under the (unchanged) mode is replaced, so a peer released
+    /// after a rollback reloads the incumbent and one released after a
+    /// commit reloads the successor, both through the same slot read.
+    fn try_live_update(
+        self: &Arc<Self>,
+        cpu: &Arc<Cpu>,
+        frame: &mut TrapFrame,
+    ) -> Result<SwitchOutcome, SwitchError> {
+        if self.mode() != ExecMode::Virtual {
+            return Err(SwitchError::NotVirtual);
+        }
+        if self.assist != AssistMode::Software {
+            return Err(SwitchError::Transfer(
+                // volint::allow(SWITCH-ALLOC): message materializes only on the refused path, before any transfer starts
+                "live-update requires the software switching mechanism".to_string(),
+            ));
+        }
+        let from = self.hv();
+        // §5.1.1 gate, unchanged for updates: never swap the VMM under
+        // in-flight virtualization-sensitive code.
+        let rc = self.refcount.current();
+        if rc != 0 {
+            self.stats.deferrals.fetch_add(1, Ordering::Relaxed);
+            merctrace::counter!(cpu.id, "switch.deferred", 1, cpu.cycles());
+            return Ok(SwitchOutcome::Deferred { refcount: rc });
+        }
+        #[cfg(feature = "dyncheck")]
+        // volint::prune(*) — dyncheck instrumentation, compiled out in production builds
+        self.refcount.assert_quiescent();
+
+        let t0 = cpu.rdtsc();
+        let peers = self.machine.num_cpus() - 1;
+        if peers > 0 {
+            merctrace::span_begin!(cpu.id, "switch.rendezvous.gather", cpu.cycles());
+            let epoch = self.rendezvous.begin().map_err(SwitchError::Rendezvous)?;
+            *self.rv_round.lock() = Some(RvRound {
+                epoch,
+                target: ExecMode::Virtual,
+            });
+            self.machine
+                .intc
+                .broadcast_ipi(cpu, vectors::SELF_VIRT_RENDEZVOUS);
+            if let Err(e) = self.rendezvous.wait_ready(peers) {
+                *self.rv_round.lock() = None;
+                return Err(SwitchError::Rendezvous(e));
+            }
+            merctrace::span_end!(cpu.id, "switch.rendezvous.gather", cpu.cycles());
+        }
+
+        let transfer = self.update_transfer(cpu, &from);
+
+        if peers > 0 {
+            // Peers reload for Virtual either way: after a committed
+            // transfer the slot already holds the successor; after a
+            // rollback it still holds the incumbent.
+            merctrace::span_begin!(cpu.id, "switch.rendezvous.release", cpu.cycles());
+            self.rendezvous.signal_go();
+            let done = self.rendezvous.wait_done(peers);
+            *self.rv_round.lock() = None;
+            done.map_err(SwitchError::Rendezvous)?;
+            merctrace::span_end!(cpu.id, "switch.rendezvous.release", cpu.cycles());
+        }
+        transfer?;
+
+        // Per-CPU reload on the CP: the successor's gate table goes
+        // live here, exactly as on any attach-side reload.
+        merctrace::span_begin!(cpu.id, "switch.reload_cpu", cpu.cycles());
+        self.reload_cpu(cpu, ExecMode::Virtual);
+        merctrace::span_end!(cpu.id, "switch.reload_cpu", cpu.cycles());
+        frame.return_pl = PrivLevel::Pl1;
+
+        Ok(SwitchOutcome::Completed {
+            cycles: cpu.rdtsc() - t0,
+        })
+    }
+
+    /// The hv-to-hv handshake, transfer and commit, executed between
+    /// rendezvous gather and release.  Any failure before the commit
+    /// discards the successor back to pristine and leaves the incumbent
+    /// committed — the DESIGN.md §16 rollback; the staged update is
+    /// consumed either way (a rolled-back successor must be re-staged).
+    fn update_transfer(&self, cpu: &Arc<Cpu>, from: &Arc<Hypervisor>) -> Result<(), SwitchError> {
+        let Some(staged) = self.pending_update.lock().take() else {
+            return Err(SwitchError::NoUpdateStaged);
+        };
+        let abort = self.update_abort.lock().take();
+
+        // Phase 1: handshake, re-checked inside the critical section —
+        // the world may have moved since staging (a guest created, the
+        // successor corrupted).
+        merctrace::span_begin!(cpu.id, "switch.liveupdate.handshake", cpu.cycles());
+        // volint::cost(2048) — LIVE_UPDATE_HANDSHAKE: flat version-order/pristine/machine checks plus the ring-flush bookkeeping
+        cpu.tick(costs::LIVE_UPDATE_HANDSHAKE);
+        let hs = xenon::liveupdate::handshake(from, &staged.hv);
+        merctrace::span_end!(cpu.id, "switch.liveupdate.handshake", cpu.cycles());
+        if abort == Some(LiveUpdatePhase::Handshake) {
+            *self.retired_update.lock() = Some(staged.hv);
+            return Err(SwitchError::UpdateRolledBack(
+                // volint::allow(SWITCH-ALLOC): message materializes only on the injected-fault path
+                "injected handshake fault".to_string(),
+            ));
+        }
+        if let Err(e) = hs {
+            *self.retired_update.lock() = Some(staged.hv);
+            return Err(SwitchError::UpdateRolledBack(
+                // volint::allow(SWITCH-ALLOC): message materializes only on the failure path, after the update has already aborted
+                e.to_string(),
+            ));
+        }
+
+        // Phase 2: state transfer.  The successor's frame accounting is
+        // recomputed from the authoritative guest page tables (cold —
+        // the successor has no dirty baseline to lean on), which also
+        // heals any corruption the incumbent's table may carry; ports,
+        // grants and the domain records themselves carry over adopted,
+        // not copied.
+        merctrace::span_begin!(cpu.id, "switch.liveupdate.transfer", cpu.cycles());
+        // volint::cost(1638400) — cold successor rebuild: ≤ 16384 pool frames × PGINFO_RECOMPUTE_PER_FRAME(100)
+        let res = xenon::liveupdate::transfer(
+            cpu,
+            from,
+            &staged.hv,
+            costs::PGINFO_RECOMPUTE_PER_FRAME,
+        );
+        let injected_tx = abort == Some(LiveUpdatePhase::Transfer);
+        if injected_tx || res.is_err() {
+            xenon::liveupdate::discard(cpu, &staged.hv);
+        }
+        merctrace::span_end!(cpu.id, "switch.liveupdate.transfer", cpu.cycles());
+        if injected_tx {
+            *self.retired_update.lock() = Some(staged.hv);
+            return Err(SwitchError::UpdateRolledBack(
+                // volint::allow(SWITCH-ALLOC): message materializes only on the injected-fault path
+                "injected transfer fault".to_string(),
+            ));
+        }
+        let _report = match res {
+            Ok(r) => r,
+            Err(e) => {
+                *self.retired_update.lock() = Some(staged.hv);
+                return Err(SwitchError::UpdateRolledBack(
+                    // volint::allow(SWITCH-ALLOC): message materializes only on the failure path, after the update has already aborted
+                    e.to_string(),
+                ));
+            }
+        };
+        merctrace::counter!(
+            cpu.id,
+            "switch.liveupdate.frames",
+            _report.frames as u64,
+            cpu.cycles()
+        );
+
+        // Phase 3: commit — the linearization point.  Published before
+        // the peers are released, so every CPU (peers via their reload,
+        // the CP right after) installs the successor.  An injected
+        // `Commit` abort lands after the slot swap by definition: the
+        // update can no longer be abandoned and completes on v2.
+        merctrace::span_begin!(cpu.id, "switch.vo_swap", cpu.cycles());
+        staged.hv.activate();
+        *self.hv_slot.write() = Arc::clone(&staged.hv);
+        *self.native_vo_slot.write() = Arc::clone(&staged.native_vo);
+        *self.virtual_vo_slot.write() = Arc::clone(&staged.virtual_vo);
+        // volint::cost(256) — one pointer store plus the trace probes
+        self.kernel
+            .set_pv(Arc::clone(&staged.virtual_vo) as Arc<dyn PvOps>);
+        merctrace::span_end!(cpu.id, "switch.vo_swap", cpu.cycles());
+        Ok(())
+    }
+
     fn try_switch(
         self: &Arc<Self>,
         cpu: &Arc<Cpu>,
@@ -636,7 +1033,7 @@ impl Mercury {
             return Ok(SwitchOutcome::AlreadyInMode);
         }
         if target == ExecMode::Native {
-            let guests = self.hv.domains().len().saturating_sub(1);
+            let guests = self.hv().domains().len().saturating_sub(1);
             if guests > 0 {
                 return Err(SwitchError::GuestsPresent(guests));
             }
@@ -703,11 +1100,11 @@ impl Mercury {
             // carry all the state (§8).  Per-CPU work happens in
             // reload_cpu.
             (AssistMode::HardwareAssisted, ExecMode::Virtual) => {
-                self.hv.activate();
+                self.hv().activate();
                 Ok(())
             }
             (AssistMode::HardwareAssisted, ExecMode::Native) => {
-                self.hv.deactivate();
+                self.hv().deactivate();
                 Ok(())
             }
         };
@@ -756,8 +1153,8 @@ impl Mercury {
                 // volint::allow(SWITCH-PANIC): hvm_vo is built at install time whenever assist is HardwareAssisted; checked invariant, not input
                 Arc::clone(self.hvm_vo.as_ref().expect("hvm VO built at install")) as Arc<dyn PvOps>
             }
-            (_, ExecMode::Virtual) => Arc::clone(&self.virtual_vo) as Arc<dyn PvOps>,
-            (_, ExecMode::Native) => Arc::clone(&self.native_vo) as Arc<dyn PvOps>,
+            (_, ExecMode::Virtual) => self.virtual_vo() as Arc<dyn PvOps>,
+            (_, ExecMode::Native) => self.native_vo() as Arc<dyn PvOps>,
         });
         merctrace::span_end!(cpu.id, "switch.vo_swap", cpu.cycles());
 
@@ -804,6 +1201,10 @@ impl Mercury {
     /// table, and a CR3 reload to flush stale translations — or, with
     /// hardware assist, a VMCS load and non-root entry/exit.
     fn reload_cpu(&self, cpu: &Arc<Cpu>, target: ExecMode) {
+        // Read the slot fresh: a peer parked across a live-update must
+        // install the successor the commit published, not the VMM that
+        // was live when it checked in.
+        let hv = self.hv();
         // volint::cost(8192) — STATE_RELOAD + gate/GDT swap + CR3 reload, flat per-CPU work
         if self.assist == AssistMode::HardwareAssisted {
             cpu.tick(costs::VMCS_SWITCH);
@@ -811,24 +1212,24 @@ impl Mercury {
                 ExecMode::Virtual => {
                     cpu.set_non_root(self.ept.clone());
                     cpu.tick(costs::VMENTRY);
-                    self.hv.set_current(cpu.id, Some(self.dom0.id));
+                    hv.set_current(cpu.id, Some(self.dom0.id));
                 }
                 ExecMode::Native => {
                     cpu.set_non_root(None);
                     cpu.tick(costs::VMEXIT);
-                    self.hv.set_current(cpu.id, None);
+                    hv.set_current(cpu.id, None);
                 }
             }
             return;
         }
         match target {
             ExecMode::Virtual => {
-                self.hv.install_on_cpu(cpu);
-                self.hv.set_current(cpu.id, Some(self.dom0.id));
+                hv.install_on_cpu(cpu);
+                hv.set_current(cpu.id, Some(self.dom0.id));
             }
             ExecMode::Native => {
-                self.hv.remove_from_cpu(cpu, self.kernel.idt());
-                self.hv.set_current(cpu.id, None);
+                hv.remove_from_cpu(cpu, self.kernel.idt());
+                hv.set_current(cpu.id, None);
             }
         }
         // Reload the (unchanged) base pointer: flushes the TLB so
@@ -882,11 +1283,12 @@ impl Mercury {
     /// Undo a partially applied state transfer so the kernel continues
     /// safely in its previous mode.
     fn rollback_transfer(&self, cpu: &Arc<Cpu>, target: ExecMode, _cause: &SwitchError) {
+        let hv = self.hv();
         match target {
             ExecMode::Virtual => {
                 // Reverse of attach_transfer, tolerating partial state.
-                self.hv.deactivate();
-                self.hv.page_info.clear_types_for(self.dom0.id);
+                hv.deactivate();
+                hv.page_info.clear_types_for(self.dom0.id);
                 // volint::allow(SWITCH-ALLOC): Vec::new is capacity 0 — no heap touch; rollback path besides
                 self.dom0.reset_pgds(Vec::new());
                 self.fix_selectors(cpu, PrivLevel::Pl0);
@@ -898,7 +1300,7 @@ impl Mercury {
                 self.fix_selectors(cpu, PrivLevel::Pl1);
                 let pgds = self.kernel.all_pgds();
                 let frames = self.kernel.pool_frames();
-                let _ = self.hv.page_info.recompute_for_at(
+                let _ = hv.page_info.recompute_for_at(
                     cpu,
                     &self.machine.mem,
                     self.dom0.id,
@@ -907,12 +1309,13 @@ impl Mercury {
                     self.strategy.attach_per_frame_cost(),
                 );
                 self.dom0.reset_pgds(pgds);
-                self.hv.activate();
+                hv.activate();
             }
         }
     }
 
     fn attach_transfer(&self, cpu: &Arc<Cpu>) -> Result<(), SwitchError> {
+        let hv = self.hv();
         // 1. Page-table pages become read-only in the direct map.
         merctrace::span_begin!(cpu.id, "switch.transfer.flip_tables", cpu.cycles());
         self.flip_table_frames(cpu, true)?;
@@ -943,8 +1346,7 @@ impl Mercury {
             } else {
                 // volint::cost(1638400) — worst case serial scan: 16384 pool frames × PGINFO_RECOMPUTE_PER_FRAME(100)
                 cpu.tick(self.pginfo_scan_cycles(owned));
-                self.hv
-                    .page_info
+                hv.page_info
                     .recompute_for_at(cpu, &self.machine.mem, self.dom0.id, owned, &pgds, 0)
                     // volint::allow(SWITCH-ALLOC): map_err string materializes only on the failure path, after the transfer has already aborted
                     .map_err(|e| SwitchError::Transfer(e.to_string()))?;
@@ -959,8 +1361,8 @@ impl Mercury {
         //    table with it (the VO-assistant step of §4.4).
         merctrace::span_begin!(cpu.id, "switch.transfer.trap_table", cpu.cycles());
         // volint::cost(8192) — VMM activation flag flip + trap-table registration (≤ 32 gates)
-        self.hv.activate();
-        self.virtual_vo
+        hv.activate();
+        self.virtual_vo()
             .load_trap_table(cpu, self.kernel.idt())
             // volint::allow(SWITCH-ALLOC): map_err string materializes only on the failure path, after the transfer has already aborted
             .map_err(|e| SwitchError::Transfer(e.to_string()))?;
@@ -969,6 +1371,7 @@ impl Mercury {
     }
 
     fn detach_transfer(&self, cpu: &Arc<Cpu>) -> Result<(), SwitchError> {
+        let hv = self.hv();
         // 0. Close the lazy admission window.  Frames still awaiting
         //    their first touch are drained in bulk: the clear below
         //    discards the accounting they would have validated into, so
@@ -998,19 +1401,19 @@ impl Mercury {
             let tables = self.kernel.all_table_frames().len();
             // volint::cost(6400) — release pass over the ≤ 256 pinned table frames × PGINFO_CLEAR_PER_FRAME(25); the snapshot itself is retained, not wiped
             cpu.tick(self.strategy.detach_cost(self.kernel.pool_frames().len(), tables));
-            self.hv.page_info.clear_types_for(self.dom0.id);
+            hv.page_info.clear_types_for(self.dom0.id);
             // volint::allow(SWITCH-ALLOC): Vec::new is capacity 0 — no heap touch
             self.dom0.reset_pgds(Vec::new());
             // The state just validated *is* the snapshot; dirty
             // tracking (re)starts from here.
-            self.hv.page_info.reset_dirty_for(self.dom0.id);
+            hv.page_info.reset_dirty_for(self.dom0.id);
             self.dirty_baseline.store(true, Ordering::Release);
             merctrace::span_end!(cpu.id, "switch.transfer.pginfo_retain", cpu.cycles());
         } else {
             merctrace::span_begin!(cpu.id, "switch.transfer.pginfo_clear", cpu.cycles());
             // volint::cost(409600) — 16384 pool frames × PGINFO_CLEAR_PER_FRAME(25)
             cpu.tick(costs::PGINFO_CLEAR_PER_FRAME * self.kernel.pool_frames().len() as u64);
-            self.hv.page_info.clear_types_for(self.dom0.id);
+            hv.page_info.clear_types_for(self.dom0.id);
             // volint::allow(SWITCH-ALLOC): Vec::new is capacity 0 — no heap touch
             self.dom0.reset_pgds(Vec::new());
             merctrace::span_end!(cpu.id, "switch.transfer.pginfo_clear", cpu.cycles());
@@ -1024,7 +1427,7 @@ impl Mercury {
         self.fix_selectors(cpu, PrivLevel::Pl0);
         merctrace::span_end!(cpu.id, "switch.transfer.fix_selectors", cpu.cycles());
         // 4. Deactivate.
-        self.hv.deactivate();
+        hv.deactivate();
         Ok(())
     }
 
@@ -1047,6 +1450,7 @@ impl Mercury {
         owned: usize,
     ) -> Result<(), SwitchError> {
         merctrace::span_begin!(cpu.id, "switch.transfer.pginfo_recompute", cpu.cycles());
+        let hv = self.hv();
         let dom = self.dom0.id;
         // Kernel-critical frames: the page-table frames a guest could
         // subvert the VMM through.  (Gate and descriptor tables are not
@@ -1059,7 +1463,7 @@ impl Mercury {
             .map(|f| f.0)
             // volint::allow(SWITCH-ALLOC): the critical set is bounded by the ≤ 256 kernel table frames and built once per attach
             .collect();
-        let dirty = self.hv.page_info.dirty_frames_for(dom);
+        let dirty = hv.page_info.dirty_frames_for(dom);
         // Critical frames sort first so the sync quota can never
         // truncate them.
         let (mut ordered, rest): (Vec<FrameNum>, Vec<FrameNum>) =
@@ -1084,8 +1488,7 @@ impl Mercury {
         // live tables — the cycle charge above models the dirty/clean
         // split; correctness never depends on a dirty bit (a scrubbed
         // or deferred frame still validates through here).
-        self.hv
-            .page_info
+        hv.page_info
             .recompute_for_at(cpu, &self.machine.mem, dom, owned, pgds, 0)
             // volint::allow(SWITCH-ALLOC): map_err string materializes only on the failure path, after the transfer has already aborted
             .map_err(|e| SwitchError::Transfer(e.to_string()))?;
@@ -1131,7 +1534,7 @@ impl Mercury {
         let dirty = if self.strategy.uses_dirty_baseline()
             && self.dirty_baseline.load(Ordering::Acquire)
         {
-            self.hv.page_info.count_dirty_for(self.dom0.id)
+            self.hv().page_info.count_dirty_for(self.dom0.id)
         } else {
             // No baseline → every frame counts dirty; uniform-rate
             // strategies ignore the count anyway.
@@ -1151,9 +1554,10 @@ impl Mercury {
         pgds: &[FrameNum],
         owned: usize,
     ) -> Result<(), SwitchError> {
+        let hv = self.hv();
         let dom = self.dom0.id;
         let scan_total = self.pginfo_scan_cycles(owned);
-        self.hv.page_info.clear_types_for(dom);
+        hv.page_info.clear_types_for(dom);
 
         // Split the uniform scan into SHARD_CHUNK_FRAMES-sized slices
         // and append one validation chunk per base table.
@@ -1195,7 +1599,7 @@ impl Mercury {
         *self.shard_job.lock() = None;
         merctrace::span_end!(cpu.id, "switch.transfer.pginfo_shard", cpu.cycles());
         if !drained {
-            self.hv.page_info.clear_types_for(dom);
+            hv.page_info.clear_types_for(dom);
             return Err(SwitchError::Transfer(
                 "sharded recompute work queue never drained".into(),
             ));
@@ -1206,7 +1610,7 @@ impl Mercury {
         let own = job.spent_of(cpu.id as u32);
         cpu.tick(job.max_spent().saturating_sub(own));
         if job.failed() {
-            self.hv.page_info.clear_types_for(dom);
+            hv.page_info.clear_types_for(dom);
             return Err(SwitchError::Transfer(
                 "sharded page_info validation failed".into(),
             ));
@@ -1227,7 +1631,7 @@ impl Mercury {
             ShardChunk::Scan(cycles) => cpu.tick(cycles),
             ShardChunk::Pgd(pgd) => {
                 if self
-                    .hv
+                    .hv()
                     .page_info
                     .validate_l2_shared(cpu, &self.machine.mem, pgd, self.dom0.id)
                     .is_err()
@@ -2125,5 +2529,141 @@ mod hw_tests {
             "expected an EPT violation, got {err:?}"
         );
         assert!(mercury.ept.as_ref().unwrap().violations() > 0);
+    }
+
+    // ---- hypervisor live-update (DESIGN.md §16) -----------------------------
+
+    #[test]
+    fn live_update_swaps_vmm_without_detach() {
+        let (machine, v1, mercury) = rig(1, TrackingStrategy::default());
+        let cpu = machine.boot_cpu();
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        let va = sess.mmap(2, Prot::RW, MmapBacking::Anon).unwrap();
+        sess.poke(va, 7).unwrap();
+        let fd = sess.open("across.txt", true).unwrap();
+        sess.write(fd, b"pre-update").unwrap();
+
+        mercury.switch_to_virtual(cpu).unwrap();
+        assert_eq!(mercury.hv_version(), 1);
+
+        let v2 = Hypervisor::warm_up_versioned(&machine, 2);
+        mercury.stage_update(Arc::clone(&v2)).unwrap();
+        assert_eq!(mercury.staged_update_version(), Some(2));
+
+        let outcome = mercury.live_update(cpu).unwrap();
+        assert!(matches!(outcome, SwitchOutcome::Completed { .. }));
+
+        // Still virtual — no detach to native happened in between — but
+        // the VMM underneath is now v2 and the incumbent is drained.
+        assert_eq!(mercury.mode(), ExecMode::Virtual);
+        assert_eq!(mercury.hv_version(), 2);
+        assert!(Arc::ptr_eq(&mercury.hypervisor(), &v2));
+        assert!(v2.is_active());
+        assert!(!v1.is_active());
+        assert_eq!(mercury.staged_update_version(), None);
+        assert_eq!(mercury.stats.live_updates.load(Ordering::Relaxed), 1);
+        assert!(mercury.stats.last_update_cycles.load(Ordering::Relaxed) > 0);
+
+        // The guest's domain record was adopted, not copied: v2 hosts
+        // the *same* Arc, and v1 forgot it without killing it.
+        let adopted = v2.domain(mercury.dom0().id).unwrap();
+        assert!(Arc::ptr_eq(&adopted, mercury.dom0()));
+        assert!(v1.domain(adopted.id).is_none());
+        assert!(adopted.is_alive());
+
+        // Guest memory and files are bit-identical across the swap, and
+        // new work proceeds under v2.
+        assert_eq!(sess.peek(va).unwrap(), 7);
+        assert_eq!(sess.stat("across.txt").unwrap().size, 10);
+        sess.poke(VirtAddr(va.0 + PAGE_SIZE), 9).unwrap();
+        assert_eq!(sess.peek(VirtAddr(va.0 + PAGE_SIZE)).unwrap(), 9);
+
+        // The updated system still detaches cleanly.
+        assert!(matches!(
+            mercury.switch_to_native(cpu).unwrap(),
+            SwitchOutcome::Completed { .. }
+        ));
+        assert!(!v2.is_active());
+    }
+
+    #[test]
+    fn live_update_requires_staging_and_virtual_mode() {
+        let (machine, _v1, mercury) = rig(1, TrackingStrategy::default());
+        let cpu = machine.boot_cpu();
+        // Nothing staged.
+        assert!(matches!(
+            mercury.live_update(cpu),
+            Err(SwitchError::NoUpdateStaged)
+        ));
+        // A same-version successor fails the handshake at staging time.
+        let same = Hypervisor::warm_up_versioned(&machine, 1);
+        assert!(matches!(
+            mercury.stage_update(same),
+            Err(SwitchError::Transfer(_))
+        ));
+        // A valid successor stages fine, but updating from native mode
+        // is refused (live-update never detaches).
+        let v2 = Hypervisor::warm_up_versioned(&machine, 2);
+        mercury.stage_update(v2).unwrap();
+        assert!(matches!(
+            mercury.live_update(cpu),
+            Err(SwitchError::NotVirtual)
+        ));
+        // The staged successor survives the refusal for a later retry.
+        assert_eq!(mercury.staged_update_version(), Some(2));
+        mercury.clear_staged_update();
+        assert_eq!(mercury.staged_update_version(), None);
+    }
+
+    #[test]
+    fn live_update_rolls_back_on_injected_faults() {
+        let (machine, v1, mercury) = rig(1, TrackingStrategy::default());
+        let cpu = machine.boot_cpu();
+        let sess = Session::new(Arc::clone(mercury.kernel()), 0);
+        let va = sess.mmap(1, Prot::RW, MmapBacking::Anon).unwrap();
+        sess.poke(va, 42).unwrap();
+        mercury.switch_to_virtual(cpu).unwrap();
+
+        for phase in [LiveUpdatePhase::Handshake, LiveUpdatePhase::Transfer] {
+            let v2 = Hypervisor::warm_up_versioned(&machine, 2);
+            mercury.stage_update(Arc::clone(&v2)).unwrap();
+            mercury.inject_update_abort(Some(phase));
+            let err = mercury.live_update(cpu).unwrap_err();
+            assert!(
+                matches!(err, SwitchError::UpdateRolledBack(_)),
+                "{phase:?}: {err:?}"
+            );
+            // Rolled back: the incumbent still runs the machine, the
+            // failed successor was discarded back to pristine, and the
+            // staged update was consumed.
+            assert_eq!(mercury.hv_version(), 1);
+            assert!(Arc::ptr_eq(&mercury.hypervisor(), &v1));
+            assert!(v1.is_active());
+            assert!(!v2.is_active());
+            assert!(v2.domains().is_empty(), "{phase:?}: successor not pristine");
+            assert_eq!(
+                v2.reserved_frames(),
+                0,
+                "{phase:?}: husk reservation reclaimed"
+            );
+            assert_eq!(mercury.staged_update_version(), None);
+            assert_eq!(sess.peek(va).unwrap(), 42);
+        }
+        assert_eq!(
+            mercury.stats.live_update_rollbacks.load(Ordering::Relaxed),
+            2
+        );
+
+        // An abort injected at Commit lands after the linearization
+        // point: the update completes on v2 regardless.
+        let v2 = Hypervisor::warm_up_versioned(&machine, 2);
+        mercury.stage_update(Arc::clone(&v2)).unwrap();
+        mercury.inject_update_abort(Some(LiveUpdatePhase::Commit));
+        assert!(matches!(
+            mercury.live_update(cpu).unwrap(),
+            SwitchOutcome::Completed { .. }
+        ));
+        assert_eq!(mercury.hv_version(), 2);
+        assert_eq!(sess.peek(va).unwrap(), 42);
     }
 }

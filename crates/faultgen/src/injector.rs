@@ -277,6 +277,28 @@ pub mod hooks {
         true
     }
 
+    /// VMM-state site (`Hypervisor::count_hypercall` — the hypervisor's
+    /// common service point).  Returns the frame whose accounting
+    /// record the VMM must wipe, or `None`.  The perturbation stays
+    /// active until resolved: the damage lives in the incumbent's
+    /// tables, and only a live-update (or explicit repair) clears it.
+    pub fn vmm_site(cpu: usize, cycles: u64) -> Option<u32> {
+        if !is_armed() {
+            return None;
+        }
+        let mut st = state();
+        let idx = st.pending.iter().position(|s| {
+            s.due_cycle <= cycles
+                && matches!(s.target, FaultTarget::VmmState { cpu: c, .. } if c == cpu)
+        })?;
+        let spec = st.pending.remove(idx);
+        fire(&mut st, spec, cycles, true);
+        match spec.target {
+            FaultTarget::VmmState { frame, .. } => Some(frame),
+            _ => None,
+        }
+    }
+
     /// Hypercall site (`Hypervisor::count_hypercall`).  Returns the
     /// penalty in cycles to charge the calling CPU (retry after a
     /// transient failure, or the slow service path), or 0.
@@ -440,6 +462,26 @@ mod tests {
         assert_eq!(hypercall_site(0, 60), 900);
         assert_eq!(hypercall_site(0, 70), 0, "one-shot");
         assert_eq!(drain_signals().len(), 2);
+        reset();
+    }
+
+    #[test]
+    fn vmm_state_fires_once_and_stays_active_until_resolved() {
+        let _g = serial();
+        reset();
+        arm(vec![spec(8, 100, FaultTarget::VmmState { cpu: 0, frame: 77 })]);
+        assert_eq!(vmm_site(0, 50), None, "not due");
+        assert_eq!(vmm_site(1, 200), None, "other cpu untouched");
+        assert_eq!(vmm_site(0, 200), Some(77));
+        assert_eq!(vmm_site(0, 300), None, "the wipe itself is one-shot");
+        // ... but the damage lingers as an active perturbation until a
+        // recovery agent (the live-update path) resolves it.
+        assert_eq!(stats().active, 1);
+        let sig = drain_signals();
+        assert_eq!(sig.len(), 1);
+        assert_eq!(sig[0].class, FaultClass::VmmCorrupt);
+        assert!(resolve(8));
+        assert_eq!(stats().active, 0);
         reset();
     }
 

@@ -150,6 +150,20 @@ macro_rules! hypercall_site {
     };
 }
 
+/// VMM-state injection site: `vmm_site!(cpu_index, now_cycles)` →
+/// `Some(frame)` whose accounting record the hypervisor must wipe
+/// (the `VmmCorrupt` class), else `None`.
+///
+/// Expands to `None` — arguments unevaluated — when the `enabled`
+/// feature is off.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! vmm_site {
+    ($cpu:expr, $cycles:expr) => {
+        $crate::injector::hooks::vmm_site($cpu as usize, $cycles as u64)
+    };
+}
+
 // ---------------------------------------------------------------------------
 // Hook macros, compiled-out variants: constant results, arguments
 // dropped unevaluated (the trailing empty repetition swallows them).
@@ -200,6 +214,15 @@ macro_rules! hypercall_site {
     };
 }
 
+/// Compiled-out [`vmm_site!`]: `None`, arguments unevaluated.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! vmm_site {
+    ($($args:expr),* $(,)?) => {
+        ::core::option::Option::<u32>::None
+    };
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -220,6 +243,7 @@ mod tests {
         assert_eq!(irq_site!(_bump(), _bump()), None);
         assert!(!gate_site!(_bump(), _bump(), _bump()));
         assert_eq!(hypercall_site!(_bump(), _bump()), 0);
+        assert_eq!(vmm_site!(_bump(), _bump()), None);
         assert_eq!(evaluated.get(), 0, "a disabled hook evaluated its arguments");
     }
 

@@ -26,6 +26,12 @@ pub enum FaultClass {
     HypercallFail,
     /// A hypercall serviced on the hypervisor's slow path.
     HypercallSlow,
+    /// Latent corruption inside the running VMM's own frame-accounting
+    /// state.  Unlike every other class, the damaged component is the
+    /// hypervisor itself, so the recovery action is a live-update to a
+    /// pristine successor instance (whose accounting is recomputed from
+    /// the guest's page tables), not a scrub or repair in place.
+    VmmCorrupt,
 }
 
 impl FaultClass {
@@ -39,6 +45,7 @@ impl FaultClass {
             FaultClass::DescriptorCorrupt => "descriptor-corrupt",
             FaultClass::HypercallFail => "hypercall-fail",
             FaultClass::HypercallSlow => "hypercall-slow",
+            FaultClass::VmmCorrupt => "vmm-corrupt",
         }
     }
 }
@@ -105,6 +112,18 @@ pub enum FaultTarget {
         /// `true` = slow path, `false` = transient failure + retry.
         slow: bool,
     },
+    /// Wipe the running VMM's accounting record of `frame` (type,
+    /// count and pin state) behind the guest's back.  Fires at the
+    /// next hypervisor service point on `cpu` at or after the due
+    /// cycle; the corruption persists until a recovery agent resolves
+    /// it — by live-updating to a successor VMM, which rebuilds the
+    /// record from the guest's own page tables.
+    VmmState {
+        /// CPU at whose hypervisor service point the corruption lands.
+        cpu: usize,
+        /// Frame whose accounting record is wiped.
+        frame: u32,
+    },
 }
 
 /// One planned fault.
@@ -131,6 +150,7 @@ impl FaultSpec {
             FaultTarget::IdtGate { .. } => FaultClass::DescriptorCorrupt,
             FaultTarget::Hypercall { slow: false, .. } => FaultClass::HypercallFail,
             FaultTarget::Hypercall { slow: true, .. } => FaultClass::HypercallSlow,
+            FaultTarget::VmmState { .. } => FaultClass::VmmCorrupt,
         }
     }
 }
@@ -179,5 +199,15 @@ mod tests {
     fn class_ids_are_stable() {
         assert_eq!(FaultClass::MemBitFlip.as_str(), "mem-bit-flip");
         assert_eq!(FaultClass::DescriptorCorrupt.to_string(), "descriptor-corrupt");
+        assert_eq!(FaultClass::VmmCorrupt.as_str(), "vmm-corrupt");
+        assert_eq!(
+            FaultSpec {
+                id: 0,
+                due_cycle: 0,
+                target: FaultTarget::VmmState { cpu: 0, frame: 9 },
+            }
+            .class(),
+            FaultClass::VmmCorrupt
+        );
     }
 }

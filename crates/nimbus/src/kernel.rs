@@ -329,6 +329,10 @@ impl Kernel {
                 vectors::SELF_VIRT_RENDEZVOUS,
                 Arc::new(SelfVirtSink(weak.clone())),
             );
+            idt.set_gate(
+                vectors::SELF_VIRT_UPDATE,
+                Arc::new(SelfVirtSink(weak.clone())),
+            );
             Kernel {
                 machine: Arc::clone(&machine),
                 pv: RwLock::new(pv),
@@ -1813,6 +1817,10 @@ impl Kernel {
             );
             idt.set_gate(
                 vectors::SELF_VIRT_RENDEZVOUS,
+                Arc::new(SelfVirtSink(weak.clone())),
+            );
+            idt.set_gate(
+                vectors::SELF_VIRT_UPDATE,
                 Arc::new(SelfVirtSink(weak.clone())),
             );
             Kernel {

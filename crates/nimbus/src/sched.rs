@@ -35,6 +35,7 @@ impl SchedState {
     /// Queue a process if not already queued.
     pub fn enqueue(&mut self, pid: Pid) {
         if !self.runq.iter().any(|&p| p == pid) {
+            // volint::allow(SWITCH-ALLOC): run-queue append; reached from the live-update path only through the name-shared hypervisor enqueue, and the deque capacity is pre-grown by the process table
             self.runq.push_back(pid);
         }
     }

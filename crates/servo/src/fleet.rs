@@ -23,6 +23,13 @@
 //!   [`FleetServer::patch_tuesday`]) virtualizes, evacuates, maintains
 //!   and re-homes one rack at a time, always evacuating *outside* the
 //!   rack under maintenance.
+//! * **The live-update wave** ([`FleetServer::update_rack`] /
+//!   [`FleetServer::patch_tuesday_live_update`]) rolls every node's
+//!   hypervisor forward rack by rack *without draining a single
+//!   guest* (DESIGN.md §16): each node hv-to-hv live-updates in
+//!   place and publishes its new version in the fleet view, whose
+//!   [`FleetState::min_hv_version`] tells the wave when the fleet
+//!   converged.
 //!
 //! Accounting is total: every arrival either lands on a node (and gets
 //! that node's completed/shed record) or, when the view rules out every
@@ -32,11 +39,13 @@
 
 use crate::loadgen::Arrival;
 use crate::sched::{NodeServer, Outcome, RequestRecord, ServerConfig};
+use mercury::{ExecMode, SwitchOutcome};
 use mercury_cluster::fleet::{FleetState, MigrationPhase, NodeStatus};
 use mercury_cluster::maintenance::{return_home, EvacuatedGuest, MaintenanceError};
 use mercury_cluster::{Cluster, MigrationPolicy, Node};
 use mercury_workloads::mix::RequestShape;
 use std::sync::Arc;
+use xenon::Hypervisor;
 
 /// Sentinel node id on fleet-level shed records: the balancer had no
 /// routable node at the arrival instant (every node evacuated, under
@@ -423,6 +432,102 @@ impl FleetServer {
         }
         Ok(racks)
     }
+
+    /// One step of the rolling hypervisor live-update wave (DESIGN.md
+    /// §16): every live node of `rack` rolls its VMM forward to
+    /// `target_version` **in place** — no drain, no evacuation; guests
+    /// keep running and the node keeps serving between updates.  A
+    /// native node is attached for the duration of its updates and
+    /// detached again; a node already virtual (e.g. hosting a parked
+    /// guest) updates under its live domains.  Each node's resulting
+    /// version is read back with [`xenon::liveupdate::status`] and
+    /// published in the fleet view.  Returns how many nodes rolled
+    /// forward; a node whose update rolls back is marked degraded (its
+    /// incumbent VMM keeps running) and skipped.
+    pub fn update_rack(&mut self, rack: usize, target_version: u32) -> usize {
+        let members = self.fleet.rack_members(rack);
+        let mut updated = 0;
+        for &m in &members {
+            if self.slots[m].is_none() || self.parked[m].is_some() {
+                // Its OS lives on a peer; nothing runs here to update
+                // under.  The node picks up the new version when its
+                // OS re-homes and the next wave reaches it.
+                continue;
+            }
+            let node = &self.nodes[m];
+            let mercury = node.mercury();
+            if mercury.hv_version() >= target_version {
+                let (version, _) = xenon::liveupdate::status(&node.hv());
+                self.fleet.set_hv_version(m, version);
+                continue;
+            }
+            let cpu = node.machine.boot_cpu();
+            let was_native = mercury.mode() == ExecMode::Native;
+            if was_native {
+                let out = mercury.switch_to_virtual(cpu);
+                if !matches!(out, Ok(SwitchOutcome::Completed { .. })) {
+                    self.fleet.set_status(
+                        m,
+                        NodeStatus::Degraded(format!("live-update attach failed: {out:?}")),
+                    );
+                    continue;
+                }
+            }
+            let mut ok = true;
+            while ok && mercury.hv_version() < target_version {
+                let guests = node.hv().domains().len();
+                let succ = Hypervisor::warm_up_versioned(&node.machine, mercury.hv_version() + 1);
+                ok = mercury.stage_update(succ).is_ok()
+                    && matches!(
+                        mercury.live_update(cpu),
+                        Ok(SwitchOutcome::Completed { .. })
+                    );
+                if ok {
+                    debug_assert_eq!(
+                        node.hv().domains().len(),
+                        guests,
+                        "an update must carry every domain across"
+                    );
+                } else {
+                    // A rollback consumes the staged successor; drop
+                    // anything a refused stage left behind too.
+                    mercury.clear_staged_update();
+                }
+            }
+            if was_native {
+                // Back to native serving; a failure here leaves the
+                // node virtual, which still serves.
+                let _ = mercury.switch_to_native(cpu);
+            }
+            let (version, _doms) = xenon::liveupdate::status(&node.hv());
+            self.fleet.set_hv_version(m, version);
+            if ok {
+                updated += 1;
+            } else {
+                self.fleet.set_status(
+                    m,
+                    NodeStatus::Degraded("live-update rolled back".to_string()),
+                );
+            }
+        }
+        updated
+    }
+
+    /// The whole live-update wave at one instant: every rack in turn
+    /// rolls to `target_version` in place.  Unlike
+    /// [`patch_tuesday`](FleetServer::patch_tuesday) nothing is
+    /// drained — this is the DESIGN.md §16 alternative for
+    /// hypervisor-only fixes, where the fleet converges
+    /// ([`FleetState::min_hv_version`]) without a single migration.
+    /// Returns how many nodes rolled forward.
+    pub fn patch_tuesday_live_update(&mut self, target_version: u32) -> usize {
+        let racks = self.fleet.racks();
+        let mut updated = 0;
+        for rack in 0..racks {
+            updated += self.update_rack(rack, target_version);
+        }
+        updated
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +660,73 @@ mod tests {
         });
         assert!(done);
         assert_eq!(fs.host_of(0).zip(fs.host_of(1)).map(|(a, b)| a == b), Some(false));
+        let records = fs.finish();
+        assert_eq!(records.len() as u64, fs.offered(), "zero lost requests");
+    }
+
+    #[test]
+    fn live_update_wave_rolls_versions_without_draining() {
+        let mut fs = small_fleet(4, 2);
+        let t = traffic(7, 35_000, 80);
+        let mid = t[40].offset;
+        let mut done = false;
+        fs.run(&t, |fs, offset| {
+            if !done && offset >= mid {
+                done = true;
+                let updated = fs.patch_tuesday_live_update(2);
+                assert_eq!(updated, 4, "every node rolls in place");
+                assert_eq!(fs.fleet().min_hv_version(), 2, "fleet converged");
+            }
+        });
+        for i in 0..4 {
+            // No drain happened: every node is healthy, home, and back
+            // in native mode with a v2 hypervisor warm underneath.
+            assert_eq!(fs.fleet().status(i), NodeStatus::Healthy, "node {i}");
+            assert!(!fs.is_evacuated(i));
+            assert_eq!(fs.nodes()[i].hv().version(), 2);
+            assert_eq!(fs.nodes()[i].mercury().mode(), ExecMode::Native);
+        }
+        assert!(fs.downtimes().is_empty(), "a live-update wave migrates nothing");
+        let records = fs.finish();
+        assert_eq!(records.len() as u64, fs.offered(), "zero lost requests");
+    }
+
+    #[test]
+    fn live_update_wave_updates_under_a_hosted_guest() {
+        let mut fs = small_fleet(3, 3);
+        let t = traffic(13, 40_000, 60);
+        let mid = t[20].offset;
+        let late = t[40].offset;
+        let mut stage = 0;
+        fs.run(&t, |fs, offset| {
+            if stage == 0 && offset >= mid {
+                stage = 1;
+                let host = fs.drain_node(0, offset, None).unwrap().unwrap();
+                // The host is virtual with a parked guest riding on its
+                // hypervisor; the wave must update it in place, guest
+                // and all.  The evacuated node has no OS to update
+                // under and keeps its old version in the view.
+                let guests = fs.nodes()[host].hv().domains().len();
+                assert!(guests > 1, "host carries the parked guest");
+                let updated = fs.patch_tuesday_live_update(2);
+                assert_eq!(updated, 2, "both live nodes roll; the husk waits");
+                assert_eq!(fs.nodes()[host].hv().version(), 2);
+                assert_eq!(fs.nodes()[host].hv().domains().len(), guests);
+                assert_eq!(
+                    fs.nodes()[host].mercury().mode(),
+                    ExecMode::Virtual,
+                    "a hosting node must stay virtual through the update"
+                );
+                assert_eq!(fs.fleet().min_hv_version(), 1, "the evacuee lags");
+            } else if stage == 1 && offset >= late {
+                stage = 2;
+                fs.rehome_node(0, offset).unwrap();
+                // The next wave step catches the straggler.
+                assert_eq!(fs.patch_tuesday_live_update(2), 1);
+                assert_eq!(fs.fleet().min_hv_version(), 2);
+            }
+        });
+        assert_eq!(stage, 2);
         let records = fs.finish();
         assert_eq!(records.len() as u64, fs.offered(), "zero lost requests");
     }

@@ -294,6 +294,12 @@ pub const LAZY_VALIDATE_FAULT: u64 = 350;
 /// interval (e.g., every 10 ms)").
 pub const SWITCH_RETRY_PERIOD: u64 = 10_000 * CYCLES_PER_US; // 10 ms
 
+/// The hv-to-hv live-update handshake: version-order, pristine-target
+/// and machine-identity checks on the pre-cached successor VMM, plus
+/// flushing the split-driver rings so no request is in flight across
+/// the swap.  Flat — none of the checks scale with guest memory.
+pub const LIVE_UPDATE_HANDSHAKE: u64 = 2_048;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,6 +38,8 @@ pub mod vectors {
     pub const SELF_VIRT_DETACH: u8 = 51;
     /// Mercury: rendezvous IPI used by the SMP switch protocol.
     pub const SELF_VIRT_RENDEZVOUS: u8 = 52;
+    /// Mercury: live-update the running VMM to a pre-cached successor.
+    pub const SELF_VIRT_UPDATE: u8 = 53;
     /// Event-channel upcall (xenon → guest virtual IRQ).
     pub const EVTCHN_UPCALL: u8 = 54;
 }

@@ -155,6 +155,26 @@ impl EventChannels {
     pub fn allocated(&self) -> usize {
         self.ports.lock().iter().filter(|p| p.is_some()).count()
     }
+
+    /// Adopt the complete port table of `other` (hypervisor
+    /// live-update re-binding): every owner, binding and slot index is
+    /// preserved bit-for-bit, so port numbers held by guest frontends
+    /// and backends stay valid across the hv-v1 → hv-v2 swap.
+    pub fn transfer_from(&self, other: &EventChannels) {
+        let theirs = other.ports.lock().clone();
+        *self.ports.lock() = theirs;
+    }
+
+    /// Clear every port in place.  The live-update discard path uses
+    /// this to return a failed successor's table to pristine without
+    /// entering the allocator (the slot vector keeps its capacity).
+    pub fn reset(&self) {
+        let mut ports = self.ports.lock();
+        // volint::bound(64) — MAX_PORTS slots
+        for p in ports.iter_mut() {
+            *p = None;
+        }
+    }
 }
 
 impl Default for EventChannels {

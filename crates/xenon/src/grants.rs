@@ -126,6 +126,25 @@ impl GrantTables {
         }
     }
 
+    /// Adopt the complete grant state of `other` (hypervisor
+    /// live-update re-binding): every `(grantor, ref)` key, frame,
+    /// mapped flag and per-grantor ref counter carries over, so grant
+    /// refs held in guest I/O rings stay valid across the swap.
+    pub fn transfer_from(&self, other: &GrantTables) {
+        let entries = other.entries.lock().clone();
+        let next = other.next_ref.lock().clone();
+        *self.entries.lock() = entries;
+        *self.next_ref.lock() = next;
+    }
+
+    /// Clear every entry in place.  The live-update discard path uses
+    /// this to return a failed successor's table to pristine without
+    /// entering the allocator (`HashMap::clear` keeps its capacity).
+    pub fn reset(&self) {
+        self.entries.lock().clear();
+        self.next_ref.lock().clear();
+    }
+
     /// Outstanding grants by `grantor` (diagnostics / leak checks).
     pub fn outstanding(&self, grantor: DomId) -> usize {
         self.entries

@@ -72,6 +72,9 @@ pub struct Hypervisor {
     pub stats: HvStats,
     domains: RwLock<BTreeMap<u16, Arc<Domain>>>,
     active: AtomicBool,
+    /// VMM build version.  Live-update only ever moves a node to a
+    /// strictly newer version (DESIGN.md §16 handshake rule #1).
+    version: u32,
     next_domid: AtomicU16,
     hv_idt: Arc<IdtTable>,
     reserved: Mutex<Vec<FrameNum>>,
@@ -86,6 +89,17 @@ impl Hypervisor {
     /// table and the VMM's own gate table.  Nothing touches the CPUs —
     /// the machine continues running natively.
     pub fn warm_up(machine: &Arc<Machine>) -> Arc<Hypervisor> {
+        Self::warm_up_versioned(machine, 1)
+    }
+
+    /// [`Hypervisor::warm_up`] with an explicit build version: how a
+    /// *successor* instance ("hv-v2") is pre-cached beside a running
+    /// one for live-update.  Both instances share the machine but each
+    /// reserves its own frame pool and owns its own page-info table,
+    /// gate table, event channels and grant tables — nothing is shared,
+    /// so a corrupted v1 cannot poison v2 (the transfer *recomputes*
+    /// page_info from the guest's own page tables).
+    pub fn warm_up_versioned(machine: &Arc<Machine>, version: u32) -> Arc<Hypervisor> {
         let boot = machine.boot_cpu();
         let reserved = machine
             .allocator
@@ -106,6 +120,7 @@ impl Hypervisor {
                 vectors::SELF_VIRT_ATTACH,
                 vectors::SELF_VIRT_DETACH,
                 vectors::SELF_VIRT_RENDEZVOUS,
+                vectors::SELF_VIRT_UPDATE,
                 vectors::EVTCHN_UPCALL,
             ] {
                 idt.set_gate(v, Arc::clone(&reflect));
@@ -119,6 +134,7 @@ impl Hypervisor {
                 stats: HvStats::default(),
                 domains: RwLock::new(BTreeMap::new()),
                 active: AtomicBool::new(false),
+                version,
                 next_domid: AtomicU16::new(1),
                 hv_idt: Arc::new(idt),
                 reserved: Mutex::new(reserved),
@@ -173,6 +189,40 @@ impl Hypervisor {
         self.reserved.lock().len()
     }
 
+    /// This VMM build's version number.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Retire a superseded (or rolled-back) instance after live-update:
+    /// deactivate it, forget its domain records (without killing the
+    /// domains — they live on under the successor), and drain its
+    /// reserved frame pool so the caller can hand the memory back to
+    /// the machine allocator.  The husk keeps its (now empty) tables so
+    /// late readers see a coherent — merely dormant and memoryless —
+    /// hypervisor.
+    pub fn decommission(&self) -> Vec<FrameNum> {
+        self.deactivate();
+        let ids: Vec<u16> = std::mem::take(&mut *self.domains.write())
+            .into_keys()
+            .collect();
+        for id in ids {
+            self.sched.remove_domain(DomId(id));
+        }
+        for slot in self.current.write().iter_mut() {
+            *slot = None;
+        }
+        std::mem::take(&mut *self.reserved.lock())
+    }
+
+    /// Drop a domain record without destroying the domain (live-update
+    /// hand-off bookkeeping: the domain now belongs to another
+    /// instance, or a failed transfer into this one is being unwound).
+    pub fn forget_domain(&self, id: DomId) {
+        self.domains.write().remove(&id.0);
+        self.sched.remove_domain(id);
+    }
+
     /// Borrow `n` frames from the VMM's reserved pool (ring buffers,
     /// bounce pages).
     pub fn take_reserved(&self, n: usize) -> Result<Vec<FrameNum>, HvError> {
@@ -208,6 +258,13 @@ impl Hypervisor {
         let penalty = faultgen::hypercall_site!(cpu.id, cpu.cycles());
         if penalty != 0 {
             cpu.tick(penalty);
+        }
+        // A VMM-state fault lands in the accounting tables themselves:
+        // the record for the planted frame is wiped behind the guest's
+        // back, persisting until a live-update rebuilds it on a
+        // pristine successor.
+        if let Some(frame) = faultgen::vmm_site!(cpu.id, cpu.cycles()) {
+            self.page_info.corrupt_record(FrameNum(frame));
         }
         self.stats.hypercalls.fetch_add(1, Ordering::Relaxed);
         merctrace::counter!(cpu.id, "xenon.hypercall", 1, cpu.cycles());
@@ -288,6 +345,7 @@ impl Hypervisor {
     pub fn adopt_domain(&self, dom: Arc<Domain>) {
         let id = dom.id;
         let pcpu = dom.home_pcpu();
+        // volint::allow(SWITCH-ALLOC): one map node per adopted domain, ≤ a handful per live-update transfer
         self.domains.write().insert(id.0, Arc::clone(&dom));
         self.sched.enqueue(pcpu, SchedUnit { dom: id, vcpu: 0 });
         let next = self.next_domid.load(Ordering::Relaxed).max(id.0 + 1);

@@ -33,6 +33,7 @@ pub mod error;
 pub mod events;
 pub mod grants;
 pub mod hv;
+pub mod liveupdate;
 pub mod migrate;
 pub mod page_info;
 pub mod ring;
@@ -43,5 +44,6 @@ pub mod scrub;
 pub use domain::{DomId, Domain, DOM0};
 pub use error::HvError;
 pub use hv::{Hypervisor, MmuUpdate};
+pub use liveupdate::{UpdateError, UpdateReport};
 pub use page_info::{PageInfo, PageInfoTable, PageType};
 pub use scrub::BackgroundScrubber;

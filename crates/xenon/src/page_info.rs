@@ -94,6 +94,7 @@ impl PageInfoTable {
     /// Set the owner of `frame` (domain creation / frame transfer).
     pub fn set_owner(&self, frame: FrameNum, owner: Option<DomId>) {
         let mut info = self.info.lock();
+        // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the table was sized from the same PhysMemory
         let rec = &mut info[frame.0 as usize];
         rec.owner = owner;
     }
@@ -102,6 +103,21 @@ impl PageInfoTable {
     pub fn owner(&self, frame: FrameNum) -> Option<DomId> {
         // volint::allow(SWITCH-PANIC): frame < num_frames by construction — the table was sized from the same PhysMemory
         self.info.lock()[frame.0 as usize].owner
+    }
+
+    /// Wipe the type record of one frame in place — the faultgen
+    /// `VmmCorrupt` class lands here.  Type, count and pin state are
+    /// lost; ownership and the dirty bit survive, as real latent
+    /// corruption would leave unrelated bytes intact.  The table has no
+    /// way to detect this from inside: recovery is a live-update, whose
+    /// successor recomputes its records from the guest's page tables
+    /// rather than trusting (and so inheriting) these.
+    pub fn corrupt_record(&self, frame: FrameNum) {
+        if let Some(rec) = self.info.lock().get_mut(frame.0 as usize) {
+            rec.typ = PageType::None;
+            rec.type_count = 0;
+            rec.pinned = false;
+        }
     }
 
     /// Mark a frame dirty (log-dirty for live migration).

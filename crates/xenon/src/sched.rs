@@ -45,6 +45,7 @@ impl Scheduler {
     /// Remove every vCPU of `dom` from all queues (domain destruction or
     /// migration away).
     pub fn remove_domain(&self, dom: DomId) {
+        // volint::bound(64) — one run queue per physical CPU
         for q in &self.queues {
             q.lock().retain(|u| u.dom != dom);
         }

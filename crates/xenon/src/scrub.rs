@@ -69,7 +69,12 @@ use std::sync::Arc;
 /// statistics are atomics; the per-frame pop itself is serialized by
 /// the frame table's lock.
 pub struct BackgroundScrubber {
-    page_info: Arc<PageInfoTable>,
+    /// The frame table being scrubbed.  A slot, not a plain `Arc`:
+    /// a live-update replaces the running hypervisor (and with it the
+    /// authoritative page-info table), and a scrubber left pointing at
+    /// the decommissioned instance would revalidate a dead ledger.
+    /// [`retarget`](BackgroundScrubber::retarget) swaps the slot.
+    page_info: parking_lot::RwLock<Arc<PageInfoTable>>,
     dom: DomId,
     revalidated: AtomicU64,
     cycles_donated: AtomicU64,
@@ -79,11 +84,19 @@ impl BackgroundScrubber {
     /// A scrubber over `dom`'s frames in `page_info`.
     pub fn new(page_info: Arc<PageInfoTable>, dom: DomId) -> Arc<BackgroundScrubber> {
         Arc::new(BackgroundScrubber {
-            page_info,
+            page_info: parking_lot::RwLock::new(page_info),
             dom,
             revalidated: AtomicU64::new(0),
             cycles_donated: AtomicU64::new(0),
         })
+    }
+
+    /// Point the scrubber at a successor hypervisor's frame table
+    /// (after a live-update decommissions the instance this scrubber
+    /// was built over).  Statistics carry across: they count work
+    /// donated on this node, not work per VMM instance.
+    pub fn retarget(&self, page_info: Arc<PageInfoTable>) {
+        *self.page_info.write() = page_info;
     }
 
     /// Donate up to `budget` idle cycles on `cpu`: revalidate dirty
@@ -95,10 +108,11 @@ impl BackgroundScrubber {
     /// donor on a latency path keeps its deadline.
     pub fn donate(&self, cpu: &Arc<Cpu>, budget: u64) -> u64 {
         let per_frame = costs::PGINFO_RECOMPUTE_PER_FRAME;
+        let table = Arc::clone(&self.page_info.read());
         let mut used = 0u64;
         // volint::bound(16384) — at most one pop per pool frame (64 MiB pool)
         while used + per_frame <= budget {
-            if self.page_info.take_dirty_frame_for(self.dom).is_none() {
+            if table.take_dirty_frame_for(self.dom).is_none() {
                 break;
             }
             cpu.tick(per_frame);
@@ -112,7 +126,7 @@ impl BackgroundScrubber {
 
     /// Dirty frames still awaiting revalidation.
     pub fn backlog(&self) -> usize {
-        self.page_info.count_dirty_for(self.dom)
+        self.page_info.read().count_dirty_for(self.dom)
     }
 
     /// Is the backlog empty?  An idle scrubber has no claim on donated
@@ -194,6 +208,26 @@ mod tests {
         assert_eq!(s.donate(&cpu, costs::PGINFO_RECOMPUTE_PER_FRAME - 1), 0);
         assert_eq!(cpu.cycles(), c0);
         assert_eq!(s.backlog(), 1);
+    }
+
+    #[test]
+    fn retarget_moves_the_scrubber_to_a_successor_table() {
+        let (t1, s, cpu) = rig(8);
+        t1.mark_dirty(FrameNum(1));
+        let t2 = Arc::new(PageInfoTable::new(8));
+        for i in 0..8 {
+            t2.set_owner(FrameNum(i), Some(DomId(0)));
+        }
+        t2.mark_dirty(FrameNum(3));
+        t2.mark_dirty(FrameNum(5));
+        s.retarget(Arc::clone(&t2));
+        // The backlog now reads the successor's ledger; the old
+        // table's dirty bit is no longer this scrubber's business.
+        assert_eq!(s.backlog(), 2);
+        s.donate(&cpu, 10 * costs::PGINFO_RECOMPUTE_PER_FRAME);
+        assert_eq!(s.backlog(), 0);
+        assert!(t1.get(FrameNum(1)).dirty, "predecessor table untouched");
+        assert_eq!(s.revalidated(), 2, "stats carry across the retarget");
     }
 
     #[test]
